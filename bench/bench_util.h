@@ -1,0 +1,26 @@
+// Shared helpers for the pworlds benchmark harness.
+//
+// Every bench binary prints a short reproduction header (what the paper
+// claims, what we verify) before handing control to google-benchmark, so the
+// saved bench output doubles as the EXPERIMENTS.md evidence.
+
+#ifndef PW_BENCH_BENCH_UTIL_H_
+#define PW_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <random>
+#include <string>
+
+namespace pw::benchutil {
+
+inline void Header(const char* id, const char* claim) {
+  std::printf("=== %s ===\n%s\n", id, claim);
+}
+
+inline void Line(const std::string& s) { std::printf("%s\n", s.c_str()); }
+
+inline std::mt19937 Rng(uint32_t seed) { return std::mt19937(seed); }
+
+}  // namespace pw::benchutil
+
+#endif  // PW_BENCH_BENCH_UTIL_H_

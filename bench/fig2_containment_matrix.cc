@@ -1,0 +1,162 @@
+// FIG2 — the 7x7 complexity matrix of the containment problem.
+//
+// Prints the paper's predicted complexity class for every (subset-side,
+// superset-side) representation pair, then benchmarks the dispatcher on
+// generated instances of each landmark cell:
+//   - g-table in Codd-table      : PTIME (freezing + matching, Thm 4.1(3))
+//   - g-table in e-table         : NP    (freezing + search,  Thm 4.1(2))
+//   - view   in Codd-table       : coNP  (forall-loop + matching, 4.1(1))
+//   - Codd-table in i-table      : Pi2p  (Thm 4.2(1))
+// The PTIME cell is swept to large sizes; hard cells to small sizes, where
+// the exponential blow-up is already visible.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "decision/complexity_map.h"
+#include "decision/containment.h"
+#include "reductions/forall_exists.h"
+#include "solvers/qbf.h"
+#include "workload/random_gen.h"
+
+namespace pw {
+namespace {
+
+void PrintMatrix() {
+  using benchutil::Line;
+  const RepKind kinds[] = {RepKind::kInstance, RepKind::kCoddTable,
+                           RepKind::kETable,   RepKind::kITable,
+                           RepKind::kGTable,   RepKind::kCTable,
+                           RepKind::kView};
+  std::string header = "  subset\\superset";
+  for (RepKind rhs : kinds) header += "\t" + ToString(rhs);
+  Line(header);
+  for (RepKind lhs : kinds) {
+    std::string row = "  " + ToString(lhs);
+    for (RepKind rhs : kinds) {
+      row += "\t" + ToString(ContainmentComplexity(lhs, rhs));
+    }
+    Line(row);
+  }
+}
+
+/// A random Codd table with `rows` rows, arity 2 (mix of constants and
+/// unique variables).
+CTable RandomCodd(int rows, std::mt19937& rng) {
+  RandomCTableOptions options;
+  options.arity = 2;
+  options.num_rows = rows;
+  options.num_constants = 4;
+  options.num_variables = 1'000'000;  // unique with overwhelming probability
+  options.variable_probability = 0.5;
+  return RandomCTable(options, rng);
+}
+
+// PTIME cell: g-table contained in Codd-table, scaling the row count.
+void BM_Fig2_GTableInCodd_PTIME(benchmark::State& state) {
+  auto rng = benchutil::Rng(1234);
+  int rows = static_cast<int>(state.range(0));
+  RandomCTableOptions options;
+  options.arity = 2;
+  options.num_rows = rows;
+  options.num_constants = 4;
+  options.num_variables = rows;
+  options.num_global_atoms = rows / 4;
+  options.equality_probability = 0.5;
+  CTable lhs_t = RandomCTable(options, rng);
+  CDatabase lhs{lhs_t};
+  // rhs generalizes lhs's frozen form, plus noise rows.
+  CTable rhs_t(2);
+  for (int i = 0; i < rows; ++i) {
+    rhs_t.AddRow(Tuple{V(2'000'000 + 2 * i), V(2'000'000 + 2 * i + 1)});
+  }
+  CDatabase rhs{rhs_t};
+  for (auto _ : state) {
+    auto r = ContGTablesInCoddTables(lhs, rhs);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel("PTIME cell (Thm 4.1(3))");
+}
+BENCHMARK(BM_Fig2_GTableInCodd_PTIME)
+    ->RangeMultiplier(4)
+    ->Range(8, 2048)
+    ->Unit(benchmark::kMicrosecond);
+
+// NP cell: g-table contained in e-table.
+void BM_Fig2_GTableInETable_NP(benchmark::State& state) {
+  auto rng = benchutil::Rng(77);
+  int rows = static_cast<int>(state.range(0));
+  CTable lhs_t = RandomCodd(rows, rng);
+  CDatabase lhs{lhs_t};
+  RandomCTableOptions options;
+  options.arity = 2;
+  options.num_rows = rows;
+  options.num_constants = 4;
+  options.num_variables = 3;  // heavy repetition: e-table
+  CTable rhs_t = RandomCTable(options, rng);
+  CDatabase rhs{rhs_t};
+  for (auto _ : state) {
+    auto r = ContGTablesInETables(lhs, rhs);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel("NP cell (Thm 4.1(2))");
+}
+BENCHMARK(BM_Fig2_GTableInETable_NP)
+    ->DenseRange(2, 10, 2)
+    ->Unit(benchmark::kMicrosecond);
+
+// coNP cell: positive existential view of a table contained in a Codd-table.
+void BM_Fig2_ViewInCodd_CoNP(benchmark::State& state) {
+  auto rng = benchutil::Rng(99);
+  int rows = static_cast<int>(state.range(0));
+  CTable lhs_t = RandomCodd(rows, rng);
+  CDatabase lhs{lhs_t};
+  View q = View::Ra({RaExpr::ProjectCols(RaExpr::Rel(0, 2), {1, 0})});
+  CTable rhs_t(2);
+  for (int i = 0; i < rows; ++i) {
+    rhs_t.AddRow(Tuple{V(3'000'000 + 2 * i), V(3'000'000 + 2 * i + 1)});
+  }
+  CDatabase rhs{rhs_t};
+  for (auto _ : state) {
+    auto r = ContViewInCoddTables(q, lhs, rhs);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel("coNP cell (Thm 4.1(1))");
+}
+BENCHMARK(BM_Fig2_ViewInCodd_CoNP)
+    ->DenseRange(1, 5)
+    ->Unit(benchmark::kMicrosecond);
+
+// Pi2p cell: Codd-table contained in i-table (the striking Thm 4.2(1) cell),
+// on forall-exists 3CNF instances of growing universal width.
+void BM_Fig2_TableInITable_Pi2p(benchmark::State& state) {
+  auto rng = benchutil::Rng(4242);
+  int nx = static_cast<int>(state.range(0));
+  ForallExistsCnf qbf = RandomForallExists(nx, 2, 3, rng);
+  ContainmentInstance inst = ForallExistsToTableInITable(qbf);
+  bool expected = SolveForallExists(qbf);
+  bool got = expected;
+  for (auto _ : state) {
+    got = Containment(inst.lhs_view, inst.lhs, inst.rhs_view, inst.rhs);
+    benchmark::DoNotOptimize(got);
+  }
+  state.counters["agrees_with_qbf_solver"] = (got == expected) ? 1 : 0;
+  state.SetLabel("Pi2p cell (Thm 4.2(1))");
+}
+BENCHMARK(BM_Fig2_TableInITable_Pi2p)
+    ->DenseRange(1, 3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pw
+
+int main(int argc, char** argv) {
+  pw::benchutil::Header(
+      "FIG2: the complexity of the containment problem",
+      "Claim (Fig. 2): CONT spans PTIME / NP / coNP / Pi2p depending on the "
+      "two representations. Matrix of predicted classes:");
+  pw::PrintMatrix();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

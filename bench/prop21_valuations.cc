@@ -1,0 +1,83 @@
+// PROP 2.1 — the valuation-space restriction.
+//
+// The proofs of Proposition 2.1 rest on one observation: only valuations
+// with values in Delta union Delta' matter, and only up to bijective
+// renaming of Delta'. This bench quantifies the saving: the number of
+// restricted-growth representatives versus the naive (|Delta| + n)^n
+// valuation count, and the wall-clock cost of full world enumeration as
+// the variable count grows — the exponential object every PTIME algorithm
+// in the paper is designed to avoid.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "tables/ctable.h"
+#include "tables/world_enum.h"
+
+namespace pw {
+namespace {
+
+CTable FreeTable(int vars) {
+  CTable t(1);
+  for (int i = 0; i < vars; ++i) t.AddRow(Tuple{V(i)});
+  t.AddRow(Tuple{C(1)});
+  t.AddRow(Tuple{C(2)});
+  return t;
+}
+
+void BM_Prop21_RepresentativeEnumeration(benchmark::State& state) {
+  int vars = static_cast<int>(state.range(0));
+  CDatabase db{FreeTable(vars)};
+  uint64_t representatives = 0;
+  for (auto _ : state) {
+    representatives = 0;
+    ForEachSatisfyingValuation(db, {}, [&representatives](const Valuation&) {
+      ++representatives;
+      return true;
+    });
+    benchmark::DoNotOptimize(representatives);
+  }
+  // Naive count: every variable takes any of |Delta| + |X| values.
+  double naive = std::pow(2.0 + vars, vars);
+  state.counters["representatives"] = static_cast<double>(representatives);
+  state.counters["naive_valuations"] = naive;
+  state.counters["saving_factor"] =
+      naive / static_cast<double>(representatives);
+  state.SetLabel("restricted growth vs naive Delta-union-Delta' count");
+}
+BENCHMARK(BM_Prop21_RepresentativeEnumeration)
+    ->DenseRange(1, 7)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Prop21_DistinctWorlds(benchmark::State& state) {
+  int vars = static_cast<int>(state.range(0));
+  CDatabase db{FreeTable(vars)};
+  size_t worlds = 0;
+  for (auto _ : state) {
+    worlds = CountDistinctWorlds(db);
+    benchmark::DoNotOptimize(worlds);
+  }
+  state.counters["worlds"] = static_cast<double>(worlds);
+  state.SetLabel("distinct worlds up to renaming");
+}
+BENCHMARK(BM_Prop21_DistinctWorlds)
+    ->DenseRange(1, 6)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace pw
+
+int main(int argc, char** argv) {
+  pw::benchutil::Header(
+      "PROP 2.1: valuations over Delta union Delta', up to renaming",
+      "Claim: all five upper bounds follow from restricting attention to "
+      "polynomially-checkable valuations over Delta union Delta', "
+      "enumerated up to bijections of Delta'. Counters show the "
+      "representative count vs the naive count, and the remaining "
+      "exponential growth in the variable count.");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,138 @@
+// THM 3.2 — the uniqueness problem.
+//
+//   (1) PTIME on g-tables: normalization + ground comparison; scales to
+//       thousands of rows.
+//   (2) PTIME for positive existential views of e-tables (the [10]-based
+//       algorithm).
+//   (3) coNP-complete on c-tables: the 3DNF-tautology reduction; exact
+//       decision grows exponentially in the number of propositional
+//       variables.
+//   (4) coNP-complete for positive existential views with != of tables:
+//       the non-3-colorability reduction.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "decision/uniqueness.h"
+#include "reductions/colorability.h"
+#include "reductions/tautology.h"
+#include "solvers/dnf_tautology.h"
+#include "solvers/graph_color.h"
+#include "workload/random_gen.h"
+
+namespace pw {
+namespace {
+
+// (1) PTIME on g-tables.
+void BM_Thm32_GTableUniq_PTIME(benchmark::State& state) {
+  auto rng = benchutil::Rng(3);
+  int rows = static_cast<int>(state.range(0));
+  // Table with variables all forced to constants: unique by construction.
+  CTable t(2);
+  Conjunction global;
+  Relation expected(2);
+  std::uniform_int_distribution<int> c(0, 9);
+  for (int i = 0; i < rows; ++i) {
+    int a = c(rng);
+    int b = c(rng);
+    t.AddRow(Tuple{C(a), V(i)});
+    global.Add(Eq(V(i), Term::Const(b)));
+    expected.Insert(Fact{a, b});
+  }
+  t.SetGlobal(std::move(global));
+  CDatabase db{t};
+  Instance instance({expected});
+  bool got = true;
+  for (auto _ : state) {
+    auto r = UniqGTables(db, instance);
+    got = r.value_or(false);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["unique"] = got ? 1 : 0;
+  state.SetLabel("Thm 3.2(1): g-table, PTIME");
+}
+BENCHMARK(BM_Thm32_GTableUniq_PTIME)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Unit(benchmark::kMicrosecond);
+
+// (2) PTIME for positive existential views of e-tables.
+void BM_Thm32_PosExistViewUniq_PTIME(benchmark::State& state) {
+  int rows = static_cast<int>(state.range(0));
+  // T0 = {(1, x_i)}: q = pi_const-1(sigma_{c0=1}(R)) is uniquely {(1)}.
+  CTable t(2);
+  for (int i = 0; i < rows; ++i) t.AddRow(Tuple{C(1), V(i)});
+  CDatabase db{t};
+  RaQuery q = {RaExpr::Project(
+      RaExpr::Select(RaExpr::Rel(0, 2),
+                     {SelectAtom::Eq(ColOrConst::Col(0),
+                                     ColOrConst::Const(1))}),
+      {ColOrConst::Const(1)})};
+  Instance instance({Relation(1, {{1}})});
+  bool got = true;
+  for (auto _ : state) {
+    auto r = UniqPosExistentialView(q, db, instance);
+    got = r.value_or(false);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["unique"] = got ? 1 : 0;
+  state.SetLabel("Thm 3.2(2): pos. exist. view of e-table, PTIME");
+}
+BENCHMARK(BM_Thm32_PosExistViewUniq_PTIME)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Unit(benchmark::kMicrosecond);
+
+// (3) coNP on c-tables: 3DNF tautology.
+void BM_Thm32_CTableUniq_CoNP(benchmark::State& state) {
+  auto rng = benchutil::Rng(5 + static_cast<uint32_t>(state.range(0)));
+  int vars = static_cast<int>(state.range(0));
+  ClausalFormula dnf = RandomClausalFormula(vars, 2 * vars, 3, rng);
+  UniquenessInstance inst = TautologyToCTableUniqueness(dnf);
+  bool expected = IsDnfTautology(dnf);
+  bool got = expected;
+  for (auto _ : state) {
+    got = UniquenessSearch(inst.view, inst.database, inst.instance);
+    benchmark::DoNotOptimize(got);
+  }
+  state.counters["agrees_with_dnf_solver"] = (got == expected) ? 1 : 0;
+  state.SetLabel("Thm 3.2(3): c-table, coNP-complete");
+}
+BENCHMARK(BM_Thm32_CTableUniq_CoNP)
+    ->DenseRange(4, 16, 4)
+    ->Unit(benchmark::kMicrosecond);
+
+// (4) coNP for positive existential with != views of tables:
+// non-3-colorability.
+void BM_Thm32_ViewUniq_CoNP(benchmark::State& state) {
+  auto rng = benchutil::Rng(9 + static_cast<uint32_t>(state.range(0)));
+  int nodes = static_cast<int>(state.range(0));
+  Graph g = RandomGraph(nodes, 0.5, rng);
+  if (g.num_edges() == 0) g.AddEdge(0, 1);
+  UniquenessInstance inst = NonColorabilityToViewUniqueness(g);
+  bool expected = !IsThreeColorable(g);
+  bool got = expected;
+  for (auto _ : state) {
+    got = UniquenessSearch(inst.view, inst.database, inst.instance);
+    benchmark::DoNotOptimize(got);
+  }
+  state.counters["agrees_with_coloring_solver"] = (got == expected) ? 1 : 0;
+  state.SetLabel("Thm 3.2(4): pos. exist. with != view, coNP-complete");
+}
+BENCHMARK(BM_Thm32_ViewUniq_CoNP)
+    ->DenseRange(4, 8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pw
+
+int main(int argc, char** argv) {
+  pw::benchutil::Header(
+      "THM 3.2: the uniqueness problem UNIQ",
+      "Claim: PTIME for g-tables and for positive existential views of "
+      "e-tables; coNP-complete for c-tables (3DNF tautology) and for "
+      "positive existential views with != of tables (non-3-colorability).");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,113 @@
+// THM 4.1 — containment upper bounds.
+//
+//   (3) PTIME: g-tables in Codd-tables by freezing + matching.
+//   (2) NP:    g-tables in e-tables by freezing + exact membership search.
+//   (1) coNP:  views in Codd-tables by the forall-valuation loop with the
+//              PTIME matching membership inside.
+// The PTIME series scales to thousands of rows; the others show the
+// exponential factor entering through exactly one quantifier level.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "decision/containment.h"
+#include "workload/random_gen.h"
+
+namespace pw {
+namespace {
+
+CTable FreshCodd(int rows, int arity, int base) {
+  CTable t(arity);
+  for (int i = 0; i < rows; ++i) {
+    Tuple tuple;
+    for (int j = 0; j < arity; ++j) {
+      tuple.push_back(Term::Var(base + arity * i + j));
+    }
+    t.AddRow(std::move(tuple));
+  }
+  return t;
+}
+
+// (3) PTIME.
+void BM_Thm41_GTableInCodd_PTIME(benchmark::State& state) {
+  auto rng = benchutil::Rng(21);
+  int rows = static_cast<int>(state.range(0));
+  RandomCTableOptions options;
+  options.arity = 2;
+  options.num_rows = rows;
+  options.num_constants = 6;
+  options.num_variables = rows;
+  options.num_global_atoms = rows / 8;
+  options.equality_probability = 0.5;
+  CTable lhs_t = RandomCTable(options, rng);
+  CDatabase lhs{lhs_t};
+  CDatabase rhs{FreshCodd(rows, 2, 5'000'000)};
+  for (auto _ : state) {
+    auto r = ContGTablesInCoddTables(lhs, rhs);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel("Thm 4.1(3): freeze + matching, PTIME");
+}
+BENCHMARK(BM_Thm41_GTableInCodd_PTIME)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Unit(benchmark::kMicrosecond);
+
+// (2) NP.
+void BM_Thm41_GTableInETable_NP(benchmark::State& state) {
+  auto rng = benchutil::Rng(23);
+  int rows = static_cast<int>(state.range(0));
+  RandomCTableOptions loptions;
+  loptions.arity = 2;
+  loptions.num_rows = rows;
+  loptions.num_constants = 4;
+  loptions.num_variables = 1'000'000;
+  CTable lhs_t = RandomCTable(loptions, rng);
+  CDatabase lhs{lhs_t};
+  RandomCTableOptions roptions;
+  roptions.arity = 2;
+  roptions.num_rows = rows + 2;
+  roptions.num_constants = 4;
+  roptions.num_variables = 3;
+  CTable rhs_t = RandomCTable(roptions, rng);
+  CDatabase rhs{rhs_t};
+  for (auto _ : state) {
+    auto r = ContGTablesInETables(lhs, rhs);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel("Thm 4.1(2): freeze + NP membership");
+}
+BENCHMARK(BM_Thm41_GTableInETable_NP)
+    ->DenseRange(2, 12, 2)
+    ->Unit(benchmark::kMicrosecond);
+
+// (1) coNP.
+void BM_Thm41_ViewInCodd_CoNP(benchmark::State& state) {
+  int rows = static_cast<int>(state.range(0));
+  // lhs = chain of unique variables; view doubles columns.
+  CDatabase lhs{FreshCodd(rows, 1, 0)};
+  View q = View::Ra({RaExpr::ProjectCols(RaExpr::Rel(0, 1), {0, 0})});
+  CDatabase rhs{FreshCodd(rows, 2, 6'000'000)};
+  for (auto _ : state) {
+    auto r = ContViewInCoddTables(q, lhs, rhs);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel("Thm 4.1(1): forall-loop + matching, coNP");
+}
+BENCHMARK(BM_Thm41_ViewInCodd_CoNP)
+    ->DenseRange(1, 6)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace pw
+
+int main(int argc, char** argv) {
+  pw::benchutil::Header(
+      "THM 4.1: containment upper bounds",
+      "Claim: CONT is PTIME for g-tables in Codd-tables (freezing), NP for "
+      "g-tables in e-tables, coNP for views in Codd-tables. One quantifier "
+      "level at a time, the exponential enters.");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,67 @@
+#include "condition/atom.h"
+
+#include <algorithm>
+
+#include "core/symbol_table.h"
+#include "core/tuple.h"
+
+namespace pw {
+
+namespace {
+CondAtom MakeNormalized(Term a, Term b, bool equality) {
+  if (b < a) std::swap(a, b);
+  return CondAtom{a, b, equality};
+}
+}  // namespace
+
+CondAtom Eq(Term a, Term b) { return MakeNormalized(a, b, /*equality=*/true); }
+
+CondAtom Neq(Term a, Term b) {
+  return MakeNormalized(a, b, /*equality=*/false);
+}
+
+CondAtom Negate(const CondAtom& atom) {
+  return CondAtom{atom.lhs, atom.rhs, !atom.is_equality};
+}
+
+CondAtom TrueAtom() { return Eq(Term::Const(0), Term::Const(0)); }
+
+CondAtom FalseAtom() { return Neq(Term::Const(0), Term::Const(0)); }
+
+bool IsTriviallyTrue(const CondAtom& atom) {
+  if (atom.lhs == atom.rhs) return atom.is_equality;
+  if (atom.lhs.is_constant() && atom.rhs.is_constant()) {
+    return !atom.is_equality;  // distinct constants are unequal
+  }
+  return false;
+}
+
+bool IsTriviallyFalse(const CondAtom& atom) {
+  if (atom.lhs == atom.rhs) return !atom.is_equality;
+  if (atom.lhs.is_constant() && atom.rhs.is_constant()) {
+    return atom.is_equality;
+  }
+  return false;
+}
+
+std::vector<VarId> AtomVariables(const CondAtom& atom) {
+  std::vector<VarId> out;
+  if (atom.lhs.is_variable()) out.push_back(atom.lhs.variable());
+  if (atom.rhs.is_variable() && atom.rhs != atom.lhs) {
+    out.push_back(atom.rhs.variable());
+  }
+  return out;
+}
+
+std::string ToString(const CondAtom& atom, const SymbolTable* symbols) {
+  auto render = [symbols](const Term& t) {
+    if (t.is_constant() && symbols != nullptr) {
+      return ConstName(t.constant(), symbols);
+    }
+    return ToString(t);
+  };
+  return render(atom.lhs) + (atom.is_equality ? " = " : " != ") +
+         render(atom.rhs);
+}
+
+}  // namespace pw

@@ -1,0 +1,62 @@
+// Condition atoms: x = y, x = c, x != y, x != c  (Section 2.2 of the paper).
+//
+// The paper's conditions are conjunctions of such atoms over variables and
+// constants. We allow both sides to be arbitrary terms (constant/constant
+// atoms evaluate immediately), which closes the atom language under
+// substitution — needed by the Imielinski–Lipski algebra.
+
+#ifndef PW_CONDITION_ATOM_H_
+#define PW_CONDITION_ATOM_H_
+
+#include <string>
+#include <vector>
+
+#include "core/term.h"
+
+namespace pw {
+
+class SymbolTable;
+
+/// One equality or inequality atom between two terms. Normalized so that
+/// lhs <= rhs in term order; this makes structural equality match semantic
+/// symmetry (x = y vs y = x).
+struct CondAtom {
+  Term lhs;
+  Term rhs;
+  bool is_equality = true;
+
+  friend bool operator==(const CondAtom&, const CondAtom&) = default;
+  friend auto operator<=>(const CondAtom&, const CondAtom&) = default;
+};
+
+/// Builds a normalized equality atom `a = b`.
+CondAtom Eq(Term a, Term b);
+
+/// Builds a normalized inequality atom `a != b`.
+CondAtom Neq(Term a, Term b);
+
+/// Negates an atom (= becomes !=, and vice versa).
+CondAtom Negate(const CondAtom& atom);
+
+/// The atom `true`, encoded as in the paper via x = x (we use 0 = 0).
+CondAtom TrueAtom();
+
+/// The atom `false`, encoded as in the paper via x != x (we use 0 != 0).
+CondAtom FalseAtom();
+
+/// True if the atom holds for every valuation (e.g. c = c, x = x).
+bool IsTriviallyTrue(const CondAtom& atom);
+
+/// True if the atom holds for no valuation (e.g. c != c, x != x, c = d).
+bool IsTriviallyFalse(const CondAtom& atom);
+
+/// Variables mentioned by the atom, deduplicated.
+std::vector<VarId> AtomVariables(const CondAtom& atom);
+
+/// Renders "x1 = 3", "x1 != x2", ...
+std::string ToString(const CondAtom& atom,
+                     const SymbolTable* symbols = nullptr);
+
+}  // namespace pw
+
+#endif  // PW_CONDITION_ATOM_H_

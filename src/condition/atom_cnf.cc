@@ -1,0 +1,50 @@
+#include "condition/atom_cnf.h"
+
+#include <algorithm>
+
+namespace pw {
+
+namespace {
+
+bool Recurse(BindingEnv& env, const std::vector<AtomClause>& clauses,
+             size_t i) {
+  if (i == clauses.size()) return true;
+  for (const CondAtom& atom : clauses[i]) {
+    if (IsTriviallyFalse(atom)) continue;
+    size_t mark = env.Mark();
+    if (env.AssertAtom(atom) && Recurse(env, clauses, i + 1)) return true;
+    env.Revert(mark);
+  }
+  return false;
+}
+
+}  // namespace
+
+bool SolveAtomCnf(BindingEnv& env, std::vector<AtomClause> clauses) {
+  // Drop clauses containing a trivially true atom; fail fast on clauses with
+  // no satisfiable atom at all.
+  std::vector<AtomClause> kept;
+  for (AtomClause& clause : clauses) {
+    bool trivially_true = std::any_of(clause.begin(), clause.end(),
+                                      [](const CondAtom& a) {
+                                        return IsTriviallyTrue(a);
+                                      });
+    if (trivially_true) continue;
+    std::erase_if(clause, [](const CondAtom& a) {
+      return IsTriviallyFalse(a);
+    });
+    if (clause.empty()) return false;
+    kept.push_back(std::move(clause));
+  }
+  // Smallest clauses first (fail-fast / unit propagation order).
+  std::stable_sort(kept.begin(), kept.end(),
+                   [](const AtomClause& a, const AtomClause& b) {
+                     return a.size() < b.size();
+                   });
+  size_t mark = env.Mark();
+  bool ok = Recurse(env, kept, 0);
+  env.Revert(mark);
+  return ok;
+}
+
+}  // namespace pw

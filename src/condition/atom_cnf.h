@@ -1,0 +1,32 @@
+// Satisfiability of conjunctions of *disjunctions* of condition atoms over
+// the infinite constant domain.
+//
+// Several exact decision procedures reduce to: does some valuation satisfy
+//   (conjunction already asserted in a BindingEnv)  AND  AND_i OR_j atom_ij ?
+// e.g. "row r produces a fact outside I" is the clause set
+// { OR_pos t[pos] != f[pos] : f in I }. This module provides a small
+// DPLL-style backtracking solver over a revertible BindingEnv.
+
+#ifndef PW_CONDITION_ATOM_CNF_H_
+#define PW_CONDITION_ATOM_CNF_H_
+
+#include <vector>
+
+#include "condition/atom.h"
+#include "condition/binding_env.h"
+
+namespace pw {
+
+/// A disjunction of condition atoms.
+using AtomClause = std::vector<CondAtom>;
+
+/// Returns true iff some valuation consistent with the current state of
+/// `env` satisfies every clause. `env` is restored to its entry state before
+/// returning. Worst case exponential in the number of clauses (branching
+/// over the chosen disjunct per clause), with unit propagation on
+/// single-atom clauses.
+bool SolveAtomCnf(BindingEnv& env, std::vector<AtomClause> clauses);
+
+}  // namespace pw
+
+#endif  // PW_CONDITION_ATOM_CNF_H_

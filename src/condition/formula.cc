@@ -1,0 +1,150 @@
+#include "condition/formula.h"
+
+#include <set>
+
+#include "core/symbol_table.h"
+
+namespace pw {
+
+Formula::Formula() : node_(nullptr) { *this = True(); }
+
+Formula Formula::True() {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kTrue;
+  return Formula(std::move(node));
+}
+
+Formula Formula::False() {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kFalse;
+  return Formula(std::move(node));
+}
+
+Formula Formula::MakeAtom(const CondAtom& atom) {
+  if (IsTriviallyTrue(atom)) return True();
+  if (IsTriviallyFalse(atom)) return False();
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kAtom;
+  node->atom = atom;
+  return Formula(std::move(node));
+}
+
+Formula Formula::FromConjunction(const Conjunction& conjunction) {
+  std::vector<Formula> parts;
+  parts.reserve(conjunction.size());
+  for (const CondAtom& a : conjunction.atoms()) parts.push_back(MakeAtom(a));
+  return And(parts);
+}
+
+Formula Formula::And(const std::vector<Formula>& children) {
+  std::vector<Formula> kept;
+  for (const Formula& f : children) {
+    if (f.is_false()) return False();
+    if (!f.is_true()) kept.push_back(f);
+  }
+  if (kept.empty()) return True();
+  if (kept.size() == 1) return kept[0];
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kAnd;
+  node->children = std::move(kept);
+  return Formula(std::move(node));
+}
+
+Formula Formula::Or(const std::vector<Formula>& children) {
+  std::vector<Formula> kept;
+  for (const Formula& f : children) {
+    if (f.is_true()) return True();
+    if (!f.is_false()) kept.push_back(f);
+  }
+  if (kept.empty()) return False();
+  if (kept.size() == 1) return kept[0];
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kOr;
+  node->children = std::move(kept);
+  return Formula(std::move(node));
+}
+
+Formula Formula::And(const Formula& a, const Formula& b) {
+  return And(std::vector<Formula>{a, b});
+}
+
+Formula Formula::Or(const Formula& a, const Formula& b) {
+  return Or(std::vector<Formula>{a, b});
+}
+
+bool Formula::is_true() const { return node_->kind == Kind::kTrue; }
+bool Formula::is_false() const { return node_->kind == Kind::kFalse; }
+
+std::vector<Conjunction> Formula::ToDnf() const {
+  switch (node_->kind) {
+    case Kind::kTrue:
+      return {Conjunction()};
+    case Kind::kFalse:
+      return {};
+    case Kind::kAtom:
+      return {Conjunction{node_->atom}};
+    case Kind::kOr: {
+      std::vector<Conjunction> out;
+      for (const Formula& child : node_->children) {
+        for (Conjunction& c : child.ToDnf()) out.push_back(std::move(c));
+      }
+      return out;
+    }
+    case Kind::kAnd: {
+      std::vector<Conjunction> acc = {Conjunction()};
+      for (const Formula& child : node_->children) {
+        std::vector<Conjunction> child_dnf = child.ToDnf();
+        std::vector<Conjunction> next;
+        next.reserve(acc.size() * child_dnf.size());
+        for (const Conjunction& a : acc) {
+          for (const Conjunction& b : child_dnf) {
+            next.push_back(Conjunction::And(a, b));
+          }
+        }
+        acc = std::move(next);
+      }
+      return acc;
+    }
+  }
+  return {};
+}
+
+bool Formula::Satisfiable() const {
+  for (const Conjunction& c : ToDnf()) {
+    if (c.Satisfiable()) return true;
+  }
+  return false;
+}
+
+std::vector<VarId> Formula::Variables() const {
+  std::set<VarId> seen;
+  for (const Conjunction& c : ToDnf()) {
+    for (VarId v : c.Variables()) seen.insert(v);
+  }
+  return {seen.begin(), seen.end()};
+}
+
+std::string Formula::ToString(const SymbolTable* symbols) const {
+  switch (node_->kind) {
+    case Kind::kTrue:
+      return "true";
+    case Kind::kFalse:
+      return "false";
+    case Kind::kAtom:
+      return pw::ToString(node_->atom, symbols);
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::string sep = node_->kind == Kind::kAnd ? " AND " : " OR ";
+      std::string out = "(";
+      for (size_t i = 0; i < node_->children.size(); ++i) {
+        if (i > 0) out += sep;
+        out += node_->children[i].ToString(symbols);
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "";
+}
+
+}  // namespace pw

@@ -1,0 +1,70 @@
+// General positive boolean combinations of condition atoms.
+//
+// The paper's c-table conditions are conjunctions, but intermediate
+// constructions (e.g. the uniqueness algorithm of Theorem 3.2(2), which puts
+// query-generated local conditions in disjunctive normal form) need and/or
+// trees. This module provides an immutable formula tree with DNF conversion.
+
+#ifndef PW_CONDITION_FORMULA_H_
+#define PW_CONDITION_FORMULA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "condition/conjunction.h"
+
+namespace pw {
+
+class SymbolTable;
+
+/// An immutable and/or tree over condition atoms. Copy is O(1) (shared
+/// subtrees).
+class Formula {
+ public:
+  /// Default: the formula `true`.
+  Formula();
+
+  static Formula True();
+  static Formula False();
+  static Formula MakeAtom(const CondAtom& atom);
+  static Formula FromConjunction(const Conjunction& conjunction);
+  static Formula And(const std::vector<Formula>& children);
+  static Formula Or(const std::vector<Formula>& children);
+  static Formula And(const Formula& a, const Formula& b);
+  static Formula Or(const Formula& a, const Formula& b);
+
+  bool is_true() const;
+  bool is_false() const;
+
+  /// Disjunctive normal form: the formula is equivalent to the disjunction
+  /// of the returned conjunctions (empty vector == false). Exponential in the
+  /// worst case, as expected.
+  std::vector<Conjunction> ToDnf() const;
+
+  /// True iff some valuation satisfies the formula.
+  bool Satisfiable() const;
+
+  /// All variables mentioned, deduplicated and sorted.
+  std::vector<VarId> Variables() const;
+
+  std::string ToString(const SymbolTable* symbols = nullptr) const;
+
+ private:
+  enum class Kind { kTrue, kFalse, kAtom, kAnd, kOr };
+
+  struct Node {
+    Kind kind;
+    CondAtom atom;               // kAtom only
+    std::vector<Formula> children;  // kAnd/kOr only
+  };
+
+  explicit Formula(std::shared_ptr<const Node> node)
+      : node_(std::move(node)) {}
+
+  std::shared_ptr<const Node> node_;
+};
+
+}  // namespace pw
+
+#endif  // PW_CONDITION_FORMULA_H_

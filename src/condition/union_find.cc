@@ -1,0 +1,36 @@
+#include "condition/union_find.h"
+
+#include <numeric>
+
+namespace pw {
+
+UnionFind::UnionFind(size_t size) : parent_(size), rank_(size, 0) {
+  std::iota(parent_.begin(), parent_.end(), 0);
+}
+
+int UnionFind::Add() {
+  int id = static_cast<int>(parent_.size());
+  parent_.push_back(id);
+  rank_.push_back(0);
+  return id;
+}
+
+int UnionFind::Find(int x) const {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::Union(int a, int b) {
+  a = Find(a);
+  b = Find(b);
+  if (a == b) return false;
+  if (rank_[a] < rank_[b]) std::swap(a, b);
+  parent_[b] = a;
+  if (rank_[a] == rank_[b]) ++rank_[a];
+  return true;
+}
+
+}  // namespace pw

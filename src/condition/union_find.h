@@ -1,0 +1,38 @@
+// A plain disjoint-set forest over dense integer ids.
+
+#ifndef PW_CONDITION_UNION_FIND_H_
+#define PW_CONDITION_UNION_FIND_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace pw {
+
+/// Union-find with union by rank and path compression. Elements are the
+/// integers [0, size). Non-revertible; for backtracking searches use
+/// `BindingEnv` (condition/binding_env.h) instead.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t size = 0);
+
+  /// Adds one element, returning its id.
+  int Add();
+
+  size_t size() const { return parent_.size(); }
+
+  /// Representative of `x`'s class.
+  int Find(int x) const;
+
+  /// Merges the classes of `a` and `b`. Returns true if they were distinct.
+  bool Union(int a, int b);
+
+  bool Same(int a, int b) const { return Find(a) == Find(b); }
+
+ private:
+  mutable std::vector<int> parent_;
+  std::vector<int> rank_;
+};
+
+}  // namespace pw
+
+#endif  // PW_CONDITION_UNION_FIND_H_

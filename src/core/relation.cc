@@ -1,0 +1,57 @@
+#include "core/relation.h"
+
+#include <cassert>
+#include <set>
+
+#include "core/symbol_table.h"
+
+namespace pw {
+
+Relation::Relation(int arity, std::initializer_list<Fact> facts)
+    : arity_(arity) {
+  for (const Fact& f : facts) Insert(f);
+}
+
+Relation::Relation(int arity, const std::vector<Fact>& facts) : arity_(arity) {
+  for (const Fact& f : facts) Insert(f);
+}
+
+bool Relation::Insert(const Fact& fact) {
+  assert(static_cast<int>(fact.size()) == arity_);
+  return facts_.insert(fact).second;
+}
+
+bool Relation::ContainsAll(const Relation& other) const {
+  for (const Fact& f : other) {
+    if (!Contains(f)) return false;
+  }
+  return true;
+}
+
+Relation Relation::UnionWith(const Relation& other) const {
+  assert(arity_ == other.arity_);
+  Relation out = *this;
+  for (const Fact& f : other) out.Insert(f);
+  return out;
+}
+
+std::vector<ConstId> Relation::Constants() const {
+  std::set<ConstId> seen;
+  for (const Fact& f : facts_) seen.insert(f.begin(), f.end());
+  return {seen.begin(), seen.end()};
+}
+
+std::vector<Fact> Relation::ToVector() const {
+  return {facts_.begin(), facts_.end()};
+}
+
+std::string Relation::ToString(const SymbolTable* symbols) const {
+  std::string out;
+  for (const Fact& f : facts_) {
+    out += pw::ToString(f, symbols);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace pw

@@ -1,0 +1,34 @@
+#include "core/symbol_table.h"
+
+namespace pw {
+
+ConstId SymbolTable::Intern(const std::string& name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  ConstId id = next_id_++;
+  ids_.emplace(name, id);
+  names_.emplace(id, name);
+  insertion_order_.push_back(name);
+  return id;
+}
+
+std::optional<ConstId> SymbolTable::Lookup(const std::string& name) const {
+  auto it = ids_.find(name);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> SymbolTable::Name(ConstId id) const {
+  auto it = names_.find(id);
+  if (it == names_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ConstName(ConstId id, const SymbolTable* symbols) {
+  if (symbols != nullptr) {
+    if (auto name = symbols->Name(id)) return *name;
+  }
+  return std::to_string(id);
+}
+
+}  // namespace pw

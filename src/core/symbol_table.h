@@ -1,0 +1,57 @@
+// Interning of human-readable constant names.
+//
+// The decision procedures work on raw `ConstId`s; examples and pretty
+// printers use a SymbolTable to attach names ("Smith", "Sales", ...) to ids.
+
+#ifndef PW_CORE_SYMBOL_TABLE_H_
+#define PW_CORE_SYMBOL_TABLE_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/term.h"
+
+namespace pw {
+
+/// Bidirectional map between constant names and `ConstId`s.
+///
+/// Ids are handed out sequentially starting from `first_id` (default 1000 so
+/// that the small numeric constants used throughout the paper's examples do
+/// not collide with named constants).
+class SymbolTable {
+ public:
+  explicit SymbolTable(ConstId first_id = 1000) : next_id_(first_id) {}
+
+  SymbolTable(const SymbolTable&) = default;
+  SymbolTable& operator=(const SymbolTable&) = default;
+
+  /// Interns `name`, returning its id (existing id if already interned).
+  ConstId Intern(const std::string& name);
+
+  /// Returns the id of `name` if interned.
+  std::optional<ConstId> Lookup(const std::string& name) const;
+
+  /// Returns the name of `id`, or std::nullopt if `id` was not interned here.
+  std::optional<std::string> Name(ConstId id) const;
+
+  /// Convenience: interned constant as a Term.
+  Term Const(const std::string& name) { return Term::Const(Intern(name)); }
+
+  /// Number of interned symbols.
+  size_t size() const { return names_.size(); }
+
+ private:
+  ConstId next_id_;
+  std::unordered_map<std::string, ConstId> ids_;
+  std::unordered_map<ConstId, std::string> names_;
+  std::vector<std::string> insertion_order_;
+};
+
+/// Renders a constant id with `symbols` if it names it, else as decimal.
+std::string ConstName(ConstId id, const SymbolTable* symbols);
+
+}  // namespace pw
+
+#endif  // PW_CORE_SYMBOL_TABLE_H_

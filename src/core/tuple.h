@@ -1,0 +1,54 @@
+// Tuples over terms and ground facts.
+//
+// A `Tuple` is a fixed-arity sequence of terms (constants and variables): one
+// row of a table. A `Fact` is a fully ground tuple — one row of a relation in
+// a complete information database.
+
+#ifndef PW_CORE_TUPLE_H_
+#define PW_CORE_TUPLE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "core/term.h"
+
+namespace pw {
+
+class SymbolTable;
+
+/// A row of a table: sequence of terms.
+using Tuple = std::vector<Term>;
+
+/// A row of a relation: sequence of constants.
+using Fact = std::vector<ConstId>;
+
+/// True iff every position of `tuple` is a constant.
+bool IsGround(const Tuple& tuple);
+
+/// Converts a ground tuple to a fact. Precondition: IsGround(tuple).
+Fact ToFact(const Tuple& tuple);
+
+/// Lifts a fact back to a (ground) tuple.
+Tuple ToTuple(const Fact& fact);
+
+/// True iff some valuation maps `tuple` onto `fact` position-wise. Because a
+/// valuation is free on each variable, this only requires that constant
+/// positions agree — repeated variables in `tuple` additionally require the
+/// corresponding fact positions to agree.
+bool Unifiable(const Tuple& tuple, const Fact& fact);
+
+/// Renders "(t1, ..., tn)".
+std::string ToString(const Tuple& tuple, const SymbolTable* symbols = nullptr);
+
+/// Renders "(c1, ..., cn)".
+std::string ToString(const Fact& fact, const SymbolTable* symbols = nullptr);
+
+/// Convenience constructors used pervasively in tests and examples.
+inline Term C(ConstId id) { return Term::Const(id); }
+inline Term V(VarId id) { return Term::Var(id); }
+
+}  // namespace pw
+
+#endif  // PW_CORE_TUPLE_H_

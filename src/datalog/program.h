@@ -1,0 +1,71 @@
+// Pure DATALOG programs (Section 2.1: fixpoints of positive existential
+// queries; no negation, no !=).
+//
+// Predicates are identified by dense indices. Predicates [0, num_edb) are
+// extensional (supplied by the input instance); predicates [num_edb,
+// num_predicates) are intensional (computed as the least fixpoint).
+
+#ifndef PW_DATALOG_PROGRAM_H_
+#define PW_DATALOG_PROGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "core/tuple.h"
+
+namespace pw {
+
+/// One atom of a rule: predicate index plus an argument tuple of variables
+/// and constants. Variables are scoped to the enclosing rule.
+struct DatalogAtom {
+  int predicate = 0;
+  Tuple args;
+
+  friend bool operator==(const DatalogAtom&, const DatalogAtom&) = default;
+};
+
+/// A Horn rule `head :- body[0], ..., body[k-1]`.
+struct DatalogRule {
+  DatalogAtom head;
+  std::vector<DatalogAtom> body;
+
+  friend bool operator==(const DatalogRule&, const DatalogRule&) = default;
+};
+
+/// A pure DATALOG program.
+class DatalogProgram {
+ public:
+  DatalogProgram() = default;
+
+  /// `arities[p]` is the arity of predicate p; predicates [0, num_edb) are
+  /// extensional.
+  DatalogProgram(std::vector<int> arities, size_t num_edb)
+      : arities_(std::move(arities)), num_edb_(num_edb) {}
+
+  void AddRule(DatalogRule rule) { rules_.push_back(std::move(rule)); }
+
+  size_t num_predicates() const { return arities_.size(); }
+  size_t num_edb() const { return num_edb_; }
+  int arity(int predicate) const { return arities_[predicate]; }
+  const std::vector<DatalogRule>& rules() const { return rules_; }
+
+  bool IsIdb(int predicate) const {
+    return predicate >= static_cast<int>(num_edb_);
+  }
+
+  /// Structural sanity: arities match, heads are intensional, rules are
+  /// range-restricted (every head variable occurs in the body). Returns an
+  /// error description or "" if valid.
+  std::string Validate() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<int> arities_;
+  size_t num_edb_ = 0;
+  std::vector<DatalogRule> rules_;
+};
+
+}  // namespace pw
+
+#endif  // PW_DATALOG_PROGRAM_H_

@@ -1,0 +1,39 @@
+// Whole-answer-set computation: all possible and all certain answers of a
+// query over a c-database.
+//
+// The point decision problems POSS/CERT ask about one fact; practical
+// incomplete-information systems want the full sets
+//
+//   possible(q, T) = union over worlds of q(rep(T))
+//   certain(q, T)  = intersection over worlds of q(rep(T))
+//
+// Both sets are restricted here to *ground answers over the constant domain
+// of the inputs* (database constants + query constants): answers mentioning
+// other constants exist (a null can take any value) but are never certain
+// and are representable only symbolically — the c-table image itself, which
+// the ilalgebra/ modules expose, is the exact symbolic answer.
+
+#ifndef PW_DECISION_ANSWER_SETS_H_
+#define PW_DECISION_ANSWER_SETS_H_
+
+#include "core/instance.h"
+#include "decision/view.h"
+#include "tables/ctable.h"
+
+namespace pw {
+
+/// All ground possible answers over the input constant domain: facts f with
+/// f in q(I) for some world I. Uses the Imielinski–Lipski image for
+/// positive existential RA views, the conditioned DATALOG fixpoint for
+/// DATALOG views, and world enumeration for first order views.
+Instance PossibleAnswers(const View& view, const CDatabase& database);
+
+/// All certain answers over the input constant domain: facts f with f in
+/// q(I) for every world I. (If rep is empty, certainty is vacuous; by
+/// convention this returns the possible-answer candidates, which are then
+/// all of them.)
+Instance CertainAnswers(const View& view, const CDatabase& database);
+
+}  // namespace pw
+
+#endif  // PW_DECISION_ANSWER_SETS_H_

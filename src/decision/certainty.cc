@@ -1,0 +1,144 @@
+#include "decision/certainty.h"
+
+#include <set>
+
+#include "datalog/certain.h"
+#include "decision/world_csp.h"
+#include "ilalgebra/ctable_eval.h"
+#include "tables/world_enum.h"
+
+namespace pw {
+
+namespace {
+
+bool HasLocalConditions(const CDatabase& database) {
+  for (size_t k = 0; k < database.num_tables(); ++k) {
+    for (const CRow& row : database.table(k).rows()) {
+      if (!row.local.IsTautology()) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<ConstId> PatternConstants(const std::vector<LocatedFact>& pattern) {
+  std::set<ConstId> seen;
+  for (const LocatedFact& lf : pattern) {
+    seen.insert(lf.fact.begin(), lf.fact.end());
+  }
+  return {seen.begin(), seen.end()};
+}
+
+/// Wraps the identity over a c-database as the trivial DATALOG program
+/// copy_p(x...) :- p(x...), so the identity view rides the same PTIME path.
+std::pair<DatalogProgram, std::vector<int>> IdentityAsDatalog(
+    const CDatabase& database) {
+  size_t n = database.num_tables();
+  std::vector<int> arities;
+  for (size_t k = 0; k < n; ++k) arities.push_back(database.table(k).arity());
+  for (size_t k = 0; k < n; ++k) arities.push_back(database.table(k).arity());
+  DatalogProgram program(arities, /*num_edb=*/n);
+  std::vector<int> outputs;
+  for (size_t k = 0; k < n; ++k) {
+    Tuple args;
+    for (int i = 0; i < database.table(k).arity(); ++i) {
+      args.push_back(Term::Var(static_cast<VarId>(i)));
+    }
+    DatalogRule rule;
+    rule.head = {static_cast<int>(n + k), args};
+    rule.body = {{static_cast<int>(k), args}};
+    program.AddRule(std::move(rule));
+    outputs.push_back(static_cast<int>(n + k));
+  }
+  return {std::move(program), std::move(outputs)};
+}
+
+}  // namespace
+
+std::optional<bool> CertDatalogGTables(
+    const View& view, const CDatabase& database,
+    const std::vector<LocatedFact>& pattern) {
+  if (HasLocalConditions(database)) return std::nullopt;
+  if (!view.is_datalog() && !view.is_identity()) return std::nullopt;
+  if (RepIsEmpty(database)) return true;  // vacuous
+
+  const DatalogProgram* program = nullptr;
+  const std::vector<int>* outputs = nullptr;
+  DatalogProgram identity_program;
+  std::vector<int> identity_outputs;
+  if (view.is_identity()) {
+    auto [p, o] = IdentityAsDatalog(database);
+    identity_program = std::move(p);
+    identity_outputs = std::move(o);
+    program = &identity_program;
+    outputs = &identity_outputs;
+  } else {
+    program = &view.datalog();
+    outputs = &view.output_preds();
+  }
+
+  auto certain = DatalogCertainAnswers(*program, database);
+  if (!certain) return std::nullopt;
+  for (const LocatedFact& lf : pattern) {
+    if (lf.relation >= outputs->size()) return false;
+    if (!certain->relation((*outputs)[lf.relation]).Contains(lf.fact)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CertaintySearch(const View& view, const CDatabase& database,
+                     const std::vector<LocatedFact>& pattern) {
+  bool certain = true;
+  WorldEnumOptions options;
+  options.extra_constants = PatternConstants(pattern);
+  for (ConstId c : view.Constants()) options.extra_constants.push_back(c);
+  ForEachWorld(database, options,
+               [&view, &pattern, &certain](const Instance& world,
+                                           const Valuation&) {
+                 if (!ContainsAll(view.Eval(world), pattern)) {
+                   certain = false;
+                   return false;  // counterexample world
+                 }
+                 return true;
+               });
+  return certain;
+}
+
+bool Certainty(const View& view, const CDatabase& database,
+               const std::vector<LocatedFact>& pattern) {
+  if (auto fast = CertDatalogGTables(view, database, pattern)) return *fast;
+  // c-tables with positive existential views: decide via the
+  // Imielinski–Lipski image and a per-fact "is it missing somewhere" CSP.
+  if (view.is_ra() && view.IsPositiveExistential(/*allow_neq=*/true)) {
+    if (auto image = EvalQueryOnCTables(view.ra(), database)) {
+      if (RepIsEmpty(database)) return true;  // vacuous
+      for (const LocatedFact& lf : pattern) {
+        if (ExistsWorldMissingFact(*image, lf.relation, lf.fact)) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  if (view.is_identity()) {
+    if (RepIsEmpty(database)) return true;  // vacuous
+    for (const LocatedFact& lf : pattern) {
+      if (ExistsWorldMissingFact(database, lf.relation, lf.fact)) {
+        return false;
+      }
+    }
+    return true;
+  }
+  return CertaintySearch(view, database, pattern);
+}
+
+bool CertaintyFactwise(const View& view, const CDatabase& database,
+                       const std::vector<LocatedFact>& pattern) {
+  for (const LocatedFact& lf : pattern) {
+    if (!Certainty(view, database, {lf})) return false;
+  }
+  return true;
+}
+
+}  // namespace pw

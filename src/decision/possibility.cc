@@ -1,0 +1,151 @@
+#include "decision/possibility.h"
+
+#include <set>
+
+#include "condition/binding_env.h"
+#include "ilalgebra/ctable_eval.h"
+#include "ra/properties.h"
+#include "solvers/bipartite_matching.h"
+#include "tables/world_enum.h"
+
+namespace pw {
+
+namespace {
+
+bool IsCoddDatabase(const CDatabase& database) {
+  return database.Kind() == TableKind::kCoddTable;
+}
+
+std::vector<ConstId> PatternConstants(const std::vector<LocatedFact>& pattern) {
+  std::set<ConstId> seen;
+  for (const LocatedFact& lf : pattern) {
+    seen.insert(lf.fact.begin(), lf.fact.end());
+  }
+  return {seen.begin(), seen.end()};
+}
+
+/// Backtracking over pattern facts: assign each to a row of the image
+/// c-table whose tuple can unify with it, consistently.
+bool AssignPattern(const CDatabase& image, const Conjunction& global,
+                   const std::vector<LocatedFact>& pattern) {
+  BindingEnv env;
+  if (!env.Assert(global)) return false;  // rep empty
+
+  std::function<bool(size_t)> go = [&](size_t i) {
+    if (i == pattern.size()) return true;
+    const LocatedFact& lf = pattern[i];
+    if (lf.relation >= image.num_tables()) return false;
+    const CTable& table = image.table(lf.relation);
+    if (static_cast<size_t>(table.arity()) != lf.fact.size()) return false;
+    for (const CRow& row : table.rows()) {
+      if (!Unifiable(row.tuple, lf.fact)) continue;
+      size_t mark = env.Mark();
+      bool ok = true;
+      for (size_t p = 0; p < lf.fact.size(); ++p) {
+        if (!env.AssertEqual(row.tuple[p], Term::Const(lf.fact[p]))) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok && env.Assert(row.local) && go(i + 1)) return true;
+      env.Revert(mark);
+    }
+    return false;
+  };
+  return go(0);
+}
+
+}  // namespace
+
+std::vector<LocatedFact> ToLocatedFacts(const Instance& pattern) {
+  std::vector<LocatedFact> out;
+  for (size_t p = 0; p < pattern.num_relations(); ++p) {
+    for (const Fact& f : pattern.relation(p)) out.push_back({p, f});
+  }
+  return out;
+}
+
+std::optional<bool> PossUnboundedCoddTables(const CDatabase& database,
+                                            const Instance& pattern) {
+  if (!IsCoddDatabase(database)) return std::nullopt;
+  if (pattern.num_relations() > database.num_tables()) return false;
+  for (size_t k = 0; k < pattern.num_relations(); ++k) {
+    const Relation& rel = pattern.relation(k);
+    if (rel.empty()) continue;
+    const CTable& table = database.table(k);
+    if (table.arity() != rel.arity()) return false;
+    std::vector<Fact> facts = rel.ToVector();
+    int n = static_cast<int>(facts.size());
+    BipartiteGraph g(n, static_cast<int>(table.num_rows()));
+    for (int i = 0; i < n; ++i) {
+      for (size_t j = 0; j < table.num_rows(); ++j) {
+        if (Unifiable(table.row(j).tuple, facts[i])) {
+          g.AddEdge(i, static_cast<int>(j));
+        }
+      }
+    }
+    if (MaxBipartiteMatching(g).size != n) return false;
+  }
+  return true;
+}
+
+std::optional<bool> PossBoundedPosExistential(
+    const RaQuery& query, const CDatabase& database,
+    const std::vector<LocatedFact>& pattern) {
+  if (!IsPositiveExistential(query, /*allow_neq=*/true)) return std::nullopt;
+  auto image = EvalQueryOnCTables(query, database);
+  if (!image) return std::nullopt;
+  return AssignPattern(*image, database.CombinedGlobal(), pattern);
+}
+
+bool PossibilitySearch(const View& view, const CDatabase& database,
+                       const std::vector<LocatedFact>& pattern) {
+  bool possible = false;
+  WorldEnumOptions options;
+  options.extra_constants = PatternConstants(pattern);
+  for (ConstId c : view.Constants()) options.extra_constants.push_back(c);
+  ForEachWorld(database, options,
+               [&view, &pattern, &possible](const Instance& world,
+                                            const Valuation&) {
+                 if (ContainsAll(view.Eval(world), pattern)) {
+                   possible = true;
+                   return false;  // witness found
+                 }
+                 return true;
+               });
+  return possible;
+}
+
+bool Possibility(const View& view, const CDatabase& database,
+                 const std::vector<LocatedFact>& pattern) {
+  if (view.is_identity()) {
+    RaQuery identity;
+    for (size_t k = 0; k < database.num_tables(); ++k) {
+      identity.push_back(RaExpr::Rel(k, database.table(k).arity()));
+    }
+    if (auto fast = PossBoundedPosExistential(identity, database, pattern)) {
+      return *fast;
+    }
+  } else if (view.is_ra()) {
+    if (auto fast = PossBoundedPosExistential(view.ra(), database, pattern)) {
+      return *fast;
+    }
+  }
+  return PossibilitySearch(view, database, pattern);
+}
+
+bool PossibilityUnbounded(const View& view, const CDatabase& database,
+                          const Instance& pattern) {
+  if (view.is_identity()) {
+    if (auto fast = PossUnboundedCoddTables(database, pattern)) return *fast;
+  }
+  std::vector<LocatedFact> flat = ToLocatedFacts(pattern);
+  if (view.is_identity() || view.is_ra()) {
+    // The c-table assignment search is exact for any pattern size (it is
+    // polynomial only for bounded patterns, but correct for all).
+    return Possibility(view, database, flat);
+  }
+  return PossibilitySearch(view, database, flat);
+}
+
+}  // namespace pw

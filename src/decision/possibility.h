@@ -1,0 +1,64 @@
+// The possibility problems POSS(k, q) and POSS(*, q) — Theorems 5.1, 5.2.
+//
+//   input: c-database; query q; a set of facts P
+//   question: is there a world I in q(rep(database)) with P subseteq I?
+//
+// Complexity landscape reproduced here:
+//   - POSS(*, -) on Codd-tables: PTIME via bipartite matching (Thm 5.1(1))
+//   - POSS(*, -) on e-/i-tables: NP-complete (Thm 5.1(2,3)); exact search
+//   - POSS(k, q) for positive existential q on c-tables: PTIME for fixed k
+//     via the Imielinski–Lipski c-table image (Thm 5.2(1))
+//   - POSS(1, q) for first order / DATALOG q on tables: NP-complete
+//     (Thm 5.2(2,3)); exact valuation enumeration
+
+#ifndef PW_DECISION_POSSIBILITY_H_
+#define PW_DECISION_POSSIBILITY_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/instance.h"
+#include "decision/view.h"
+#include "tables/ctable.h"
+
+namespace pw {
+
+/// PTIME unbounded possibility for Codd-table databases: P subseteq sigma(T)
+/// for some sigma iff, per relation, a bipartite matching saturates the
+/// pattern facts (each pattern fact handled by a distinct row; since each
+/// variable occurs once, bindings never clash). Returns std::nullopt if the
+/// database is not a Codd-table database.
+std::optional<bool> PossUnboundedCoddTables(const CDatabase& database,
+                                            const Instance& pattern);
+
+/// PTIME (for fixed pattern size) bounded possibility for positive
+/// existential queries on c-databases (Thm 5.2(1)): computes the c-table
+/// image of the query, then searches row assignments for the k pattern
+/// facts with consistency in a binding environment — O(rows^k) combinations.
+/// Returns std::nullopt if the query is not positive existential (!= is
+/// allowed).
+std::optional<bool> PossBoundedPosExistential(
+    const RaQuery& query, const CDatabase& database,
+    const std::vector<LocatedFact>& pattern);
+
+/// Exact possibility for arbitrary views, by enumerating satisfying
+/// valuations and testing P subseteq view(world). NP in general.
+bool PossibilitySearch(const View& view, const CDatabase& database,
+                       const std::vector<LocatedFact>& pattern);
+
+/// Dispatcher for POSS(k, q): PTIME special cases when applicable, else
+/// search.
+bool Possibility(const View& view, const CDatabase& database,
+                 const std::vector<LocatedFact>& pattern);
+
+/// Dispatcher for POSS(*, q) with the pattern given as an instance.
+bool PossibilityUnbounded(const View& view, const CDatabase& database,
+                          const Instance& pattern);
+
+/// Flattens an instance into located facts (for moving between the bounded
+/// and unbounded interfaces).
+std::vector<LocatedFact> ToLocatedFacts(const Instance& pattern);
+
+}  // namespace pw
+
+#endif  // PW_DECISION_POSSIBILITY_H_

@@ -1,0 +1,132 @@
+#include "decision/view.h"
+
+#include <set>
+
+#include "datalog/eval.h"
+#include "ra/eval.h"
+#include "ra/properties.h"
+
+namespace pw {
+
+namespace {
+
+void CollectConstants(const RaExpr& expr, std::set<ConstId>& out) {
+  switch (expr.op()) {
+    case RaOp::kRel:
+      return;
+    case RaOp::kConstRel:
+      for (ConstId c : expr.const_relation().Constants()) out.insert(c);
+      return;
+    case RaOp::kProject:
+      for (const ColOrConst& o : expr.outputs()) {
+        if (!o.is_column) out.insert(o.constant);
+      }
+      CollectConstants(expr.input(), out);
+      return;
+    case RaOp::kSelect:
+      for (const SelectAtom& a : expr.atoms()) {
+        if (!a.lhs.is_column) out.insert(a.lhs.constant);
+        if (!a.rhs.is_column) out.insert(a.rhs.constant);
+      }
+      CollectConstants(expr.input(), out);
+      return;
+    case RaOp::kProduct:
+    case RaOp::kUnion:
+    case RaOp::kDiff:
+      CollectConstants(expr.left(), out);
+      CollectConstants(expr.right(), out);
+      return;
+  }
+}
+
+}  // namespace
+
+View View::Identity() { return View(); }
+
+View View::Ra(RaQuery query) {
+  View v;
+  v.kind_ = Kind::kRa;
+  v.ra_ = std::move(query);
+  return v;
+}
+
+View View::Datalog(DatalogProgram program, std::vector<int> output_preds) {
+  View v;
+  v.kind_ = Kind::kDatalog;
+  v.datalog_ = std::move(program);
+  v.output_preds_ = std::move(output_preds);
+  return v;
+}
+
+Instance View::Eval(const Instance& input) const {
+  switch (kind_) {
+    case Kind::kIdentity:
+      return input;
+    case Kind::kRa:
+      return EvalQuery(ra_, input);
+    case Kind::kDatalog: {
+      Instance fixpoint = SemiNaiveEval(datalog_, input);
+      std::vector<Relation> out;
+      out.reserve(output_preds_.size());
+      for (int p : output_preds_) out.push_back(fixpoint.relation(p));
+      return Instance(std::move(out));
+    }
+  }
+  return input;
+}
+
+bool View::IsPositiveExistential(bool allow_neq) const {
+  switch (kind_) {
+    case Kind::kIdentity:
+      return true;
+    case Kind::kRa:
+      return pw::IsPositiveExistential(ra_, allow_neq);
+    case Kind::kDatalog:
+      return false;  // recursion is a separate fragment in the paper
+  }
+  return false;
+}
+
+std::vector<ConstId> View::Constants() const {
+  std::set<ConstId> out;
+  switch (kind_) {
+    case Kind::kIdentity:
+      break;
+    case Kind::kRa:
+      for (const RaExpr& e : ra_) CollectConstants(e, out);
+      break;
+    case Kind::kDatalog:
+      for (const DatalogRule& rule : datalog_.rules()) {
+        for (const Term& t : rule.head.args) {
+          if (t.is_constant()) out.insert(t.constant());
+        }
+        for (const DatalogAtom& atom : rule.body) {
+          for (const Term& t : atom.args) {
+            if (t.is_constant()) out.insert(t.constant());
+          }
+        }
+      }
+      break;
+  }
+  return {out.begin(), out.end()};
+}
+
+std::string View::ToString() const {
+  switch (kind_) {
+    case Kind::kIdentity:
+      return "identity";
+    case Kind::kRa: {
+      std::string out = "ra[";
+      for (size_t i = 0; i < ra_.size(); ++i) {
+        if (i > 0) out += "; ";
+        out += ra_[i].ToString();
+      }
+      return out + "]";
+    }
+    case Kind::kDatalog:
+      return "datalog[" + std::to_string(datalog_.rules().size()) + " rules]";
+  }
+  return "?";
+}
+
+}  // namespace pw

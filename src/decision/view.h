@@ -1,0 +1,72 @@
+// Views: the fixed QPTIME queries applied to representations.
+//
+// The paper's decision problems are parameterized by a query q applied to
+// the represented worlds: q(rep(T)) = { q(I) | I in rep(T) }. We support the
+// three families of Section 2.1 — the identity, relational algebra queries
+// (positive existential when difference-free, first order otherwise), and
+// pure DATALOG queries.
+
+#ifndef PW_DECISION_VIEW_H_
+#define PW_DECISION_VIEW_H_
+
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "datalog/program.h"
+#include "ra/expr.h"
+
+namespace pw {
+
+/// A fixed query from instances to instances. Value type.
+class View {
+ public:
+  /// Default-constructs the identity query (the paper's "-").
+  View() = default;
+
+  /// The identity query, explicitly.
+  static View Identity();
+
+  /// A relational algebra query, one expression per output relation.
+  static View Ra(RaQuery query);
+
+  /// A DATALOG query: the program's fixpoint restricted to `output_preds`
+  /// (in order; these become output relations 0..m-1).
+  static View Datalog(DatalogProgram program, std::vector<int> output_preds);
+
+  bool is_identity() const { return kind_ == Kind::kIdentity; }
+  bool is_ra() const { return kind_ == Kind::kRa; }
+  bool is_datalog() const { return kind_ == Kind::kDatalog; }
+
+  /// Applies the query to a complete information database.
+  Instance Eval(const Instance& input) const;
+
+  /// True iff the view is (equivalent by construction to) a positive
+  /// existential query: the identity, or a difference-free RA query.
+  /// With `allow_neq`, != select atoms are permitted.
+  bool IsPositiveExistential(bool allow_neq = false) const;
+
+  /// All constants mentioned by the query itself (constant relations,
+  /// select/projection constants, rule constants). Valuation enumeration
+  /// must include these in Delta: queries are generic only modulo their own
+  /// constants.
+  std::vector<ConstId> Constants() const;
+
+  const RaQuery& ra() const { return ra_; }
+  const DatalogProgram& datalog() const { return datalog_; }
+  const std::vector<int>& output_preds() const { return output_preds_; }
+
+  std::string ToString() const;
+
+ private:
+  enum class Kind { kIdentity, kRa, kDatalog };
+
+  Kind kind_ = Kind::kIdentity;
+  RaQuery ra_;
+  DatalogProgram datalog_;
+  std::vector<int> output_preds_;
+};
+
+}  // namespace pw
+
+#endif  // PW_DECISION_VIEW_H_

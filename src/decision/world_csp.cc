@@ -1,0 +1,87 @@
+#include "decision/world_csp.h"
+
+#include "condition/atom_cnf.h"
+#include "condition/binding_env.h"
+
+namespace pw {
+
+namespace {
+
+/// The clause set "row does not produce `fact`": some local atom fails or
+/// some tuple position differs.
+AtomClause RowMissesFactClause(const CRow& row, const Fact& fact) {
+  AtomClause clause;
+  Conjunction simplified = row.local.Simplified();
+  for (const CondAtom& atom : simplified.atoms()) {
+    clause.push_back(Negate(atom));
+  }
+  for (size_t p = 0; p < row.tuple.size(); ++p) {
+    clause.push_back(Neq(row.tuple[p], Term::Const(fact[p])));
+  }
+  return clause;
+}
+
+}  // namespace
+
+bool ExistsWorldOtherThan(const CDatabase& database,
+                          const Instance& instance) {
+  if (database.num_tables() != instance.num_relations()) return true;
+  for (size_t k = 0; k < database.num_tables(); ++k) {
+    if (database.table(k).arity() != instance.relation(k).arity()) {
+      return true;
+    }
+  }
+  Conjunction global = database.CombinedGlobal();
+
+  // Reason (a): some row is "on" under a satisfying valuation and lands
+  // outside its target relation.
+  for (size_t k = 0; k < database.num_tables(); ++k) {
+    const Relation& target = instance.relation(k);
+    for (const CRow& row : database.table(k).rows()) {
+      BindingEnv env;
+      if (!env.Assert(global) || !env.Assert(row.local)) continue;
+      std::vector<AtomClause> clauses;
+      bool impossible = false;
+      for (const Fact& f : target) {
+        AtomClause clause;
+        for (size_t p = 0; p < row.tuple.size(); ++p) {
+          clause.push_back(Neq(row.tuple[p], Term::Const(f[p])));
+        }
+        if (clause.empty()) {  // arity 0: the row is exactly this fact
+          impossible = true;
+          break;
+        }
+        clauses.push_back(std::move(clause));
+      }
+      if (impossible) continue;
+      if (SolveAtomCnf(env, std::move(clauses))) return true;
+    }
+  }
+
+  // Reason (b): some instance fact is produced by no row.
+  for (size_t k = 0; k < database.num_tables(); ++k) {
+    for (const Fact& f : instance.relation(k)) {
+      if (ExistsWorldMissingFact(database, k, f)) return true;
+    }
+  }
+  return false;
+}
+
+bool ExistsWorldMissingFact(const CDatabase& database, size_t relation_index,
+                            const Fact& fact) {
+  if (relation_index >= database.num_tables()) return true;
+  const CTable& table = database.table(relation_index);
+  if (static_cast<size_t>(table.arity()) != fact.size()) return true;
+  BindingEnv env;
+  if (!env.Assert(database.CombinedGlobal())) {
+    return false;  // rep empty: no world at all, so no world missing it
+  }
+  std::vector<AtomClause> clauses;
+  clauses.reserve(table.num_rows());
+  for (const CRow& row : table.rows()) {
+    clauses.push_back(RowMissesFactClause(row, fact));
+  }
+  return SolveAtomCnf(env, std::move(clauses));
+}
+
+}  // namespace pw

@@ -1,0 +1,28 @@
+// Clause-CSP procedures over the worlds of a c-database.
+//
+// Several decision problems reduce to "is there a satisfying valuation whose
+// world has property X", where X decomposes into disjunctions of condition
+// atoms. These run orders of magnitude faster than raw valuation
+// enumeration while keeping the right worst-case complexity.
+
+#ifndef PW_DECISION_WORLD_CSP_H_
+#define PW_DECISION_WORLD_CSP_H_
+
+#include "core/instance.h"
+#include "tables/ctable.h"
+
+namespace pw {
+
+/// Is there a world of rep(database) different from `instance`? (A world
+/// differs iff some "on" row lands outside the instance, or some instance
+/// fact is produced by no row.)
+bool ExistsWorldOtherThan(const CDatabase& database, const Instance& instance);
+
+/// Is there a world of rep(database) in which relation `relation_index`
+/// does not contain `fact`? (I.e. the fact is NOT certain.)
+bool ExistsWorldMissingFact(const CDatabase& database, size_t relation_index,
+                            const Fact& fact);
+
+}  // namespace pw
+
+#endif  // PW_DECISION_WORLD_CSP_H_

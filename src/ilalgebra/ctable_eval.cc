@@ -1,0 +1,116 @@
+#include "ilalgebra/ctable_eval.h"
+
+namespace pw {
+
+namespace {
+
+Term ResolveTerm(const ColOrConst& o, const Tuple& tuple) {
+  return o.is_column ? tuple[o.column] : Term::Const(o.constant);
+}
+
+/// Instantiates one select atom against a row's tuple; appends to `local`.
+/// Returns false if the atom is trivially false for this row.
+bool ApplySelectAtom(const SelectAtom& atom, const Tuple& tuple,
+                     Conjunction& local) {
+  Term l = ResolveTerm(atom.lhs, tuple);
+  Term r = ResolveTerm(atom.rhs, tuple);
+  CondAtom cond = atom.is_equality ? Eq(l, r) : Neq(l, r);
+  if (IsTriviallyFalse(cond)) return false;
+  if (!IsTriviallyTrue(cond)) local.Add(cond);
+  return true;
+}
+
+}  // namespace
+
+std::optional<CTable> EvalOnCTables(const RaExpr& expr,
+                                    const CDatabase& database) {
+  switch (expr.op()) {
+    case RaOp::kRel: {
+      CTable out(expr.arity());
+      const CTable& in = database.table(expr.rel_index());
+      for (const CRow& row : in.rows()) out.AddRow(row.tuple, row.local);
+      return out;
+    }
+    case RaOp::kConstRel: {
+      CTable out(expr.arity());
+      for (const Fact& f : expr.const_relation()) out.AddRow(ToTuple(f));
+      return out;
+    }
+    case RaOp::kProject: {
+      auto in = EvalOnCTables(expr.input(), database);
+      if (!in) return std::nullopt;
+      CTable out(expr.arity());
+      for (const CRow& row : in->rows()) {
+        Tuple t;
+        t.reserve(expr.outputs().size());
+        for (const ColOrConst& o : expr.outputs()) {
+          t.push_back(ResolveTerm(o, row.tuple));
+        }
+        out.AddRow(std::move(t), row.local);
+      }
+      return out;
+    }
+    case RaOp::kSelect: {
+      auto in = EvalOnCTables(expr.input(), database);
+      if (!in) return std::nullopt;
+      CTable out(expr.arity());
+      for (const CRow& row : in->rows()) {
+        Conjunction local = row.local;
+        bool keep = true;
+        for (const SelectAtom& a : expr.atoms()) {
+          if (!ApplySelectAtom(a, row.tuple, local)) {
+            keep = false;
+            break;
+          }
+        }
+        if (keep) out.AddRow(row.tuple, std::move(local));
+      }
+      return out;
+    }
+    case RaOp::kProduct: {
+      auto l = EvalOnCTables(expr.left(), database);
+      auto r = EvalOnCTables(expr.right(), database);
+      if (!l || !r) return std::nullopt;
+      CTable out(expr.arity());
+      for (const CRow& rl : l->rows()) {
+        for (const CRow& rr : r->rows()) {
+          Tuple t = rl.tuple;
+          t.insert(t.end(), rr.tuple.begin(), rr.tuple.end());
+          out.AddRow(std::move(t), Conjunction::And(rl.local, rr.local));
+        }
+      }
+      return out;
+    }
+    case RaOp::kUnion: {
+      auto l = EvalOnCTables(expr.left(), database);
+      auto r = EvalOnCTables(expr.right(), database);
+      if (!l || !r) return std::nullopt;
+      CTable out(expr.arity());
+      for (const CRow& row : l->rows()) out.AddRow(row.tuple, row.local);
+      for (const CRow& row : r->rows()) out.AddRow(row.tuple, row.local);
+      return out;
+    }
+    case RaOp::kDiff:
+      return std::nullopt;  // not positive existential
+  }
+  return std::nullopt;
+}
+
+std::optional<CDatabase> EvalQueryOnCTables(const RaQuery& query,
+                                            const CDatabase& database) {
+  CDatabase out;
+  for (size_t i = 0; i < query.size(); ++i) {
+    auto table = EvalOnCTables(query[i], database);
+    if (!table) return std::nullopt;
+    if (i == 0) table->SetGlobal(database.CombinedGlobal());
+    out.AddTable(std::move(*table));
+  }
+  if (query.empty()) {
+    CTable sentinel(0);
+    sentinel.SetGlobal(database.CombinedGlobal());
+    out.AddTable(std::move(sentinel));
+  }
+  return out;
+}
+
+}  // namespace pw

@@ -1,0 +1,52 @@
+// The Imielinski–Lipski algebra: evaluating positive relational algebra
+// directly on conditioned tables.
+//
+// c-tables are a *representation system* for positive existential queries
+// (Imielinski & Lipski, JACM 1984): for every positive query q and c-table T
+// one can compute, in PTIME in |T|, a c-table q^(T) with
+//
+//     rep(q^(T)) = q(rep(T))       (pointwise image of the worlds).
+//
+// This is the engine behind the PTIME bounded-possibility algorithm of
+// Theorem 5.2(1) and the uniqueness algorithm of Theorem 3.2(2). Our
+// transformation rules keep local conditions in conjunction form:
+//
+//   relation ref : copy rows
+//   select       : conjoin the instantiated select atoms onto each local
+//   project      : rewrite each tuple through the output spec
+//   product      : pair rows, conjoin locals
+//   union        : concatenate rows
+//   const rel    : unconditioned ground rows
+//
+// (We do not merge duplicate projected rows, so no disjunctions arise; set
+// semantics is recovered at instantiation time.)
+
+#ifndef PW_ILALGEBRA_CTABLE_EVAL_H_
+#define PW_ILALGEBRA_CTABLE_EVAL_H_
+
+#include <optional>
+
+#include "ra/expr.h"
+#include "tables/ctable.h"
+
+namespace pw {
+
+/// Evaluates one positive existential expression on a c-database, producing
+/// a c-table whose rep is the image of rep(database) under the expression
+/// (the result table carries no global condition of its own; combine with
+/// `database.CombinedGlobal()`). Returns std::nullopt if the expression is
+/// not positive existential (contains difference). != select atoms are
+/// allowed (they become inequality atoms in local conditions).
+std::optional<CTable> EvalOnCTables(const RaExpr& expr,
+                                    const CDatabase& database);
+
+/// Evaluates a whole query. The resulting c-database carries the input's
+/// combined global condition (attached to its first table, or to an empty
+/// sentinel table when the query is empty). Returns std::nullopt if any
+/// expression is not positive existential.
+std::optional<CDatabase> EvalQueryOnCTables(const RaQuery& query,
+                                            const CDatabase& database);
+
+}  // namespace pw
+
+#endif  // PW_ILALGEBRA_CTABLE_EVAL_H_

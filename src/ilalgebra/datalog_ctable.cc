@@ -1,0 +1,189 @@
+#include "ilalgebra/datalog_ctable.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "condition/binding_env.h"
+
+namespace pw {
+
+namespace {
+
+/// Canonical condition: sorted, deduplicated atoms with trivially true ones
+/// removed. Subset comparison then decides subsumption.
+using AtomSet = std::vector<CondAtom>;
+
+AtomSet Canonicalize(const Conjunction& c) {
+  AtomSet atoms;
+  for (const CondAtom& a : c.atoms()) {
+    if (!IsTriviallyTrue(a)) atoms.push_back(a);
+  }
+  std::sort(atoms.begin(), atoms.end());
+  atoms.erase(std::unique(atoms.begin(), atoms.end()), atoms.end());
+  return atoms;
+}
+
+bool IsSubset(const AtomSet& small, const AtomSet& big) {
+  return std::includes(big.begin(), big.end(), small.begin(), small.end());
+}
+
+/// One conditioned fact during evaluation.
+struct CondRow {
+  Tuple tuple;
+  AtomSet cond;
+
+  friend bool operator==(const CondRow&, const CondRow&) = default;
+};
+
+struct EvalState {
+  const DatalogProgram* program;
+  Conjunction global;
+  // rows[p] = all kept conditioned rows of predicate p.
+  std::vector<std::vector<CondRow>> rows;
+  ConditionedFixpointStats stats;
+};
+
+/// Inserts a derived row unless subsumed; drops rows subsumed by it.
+/// Returns true if the row was added.
+bool Insert(EvalState& state, int pred, CondRow row) {
+  // Consistency check against the global condition.
+  {
+    BindingEnv env;
+    bool ok = env.Assert(state.global);
+    for (const CondAtom& a : row.cond) {
+      if (!ok) break;
+      ok = env.AssertAtom(a);
+    }
+    if (!ok) {
+      ++state.stats.unsatisfiable_rows;
+      return false;
+    }
+  }
+  auto& bucket = state.rows[pred];
+  for (const CondRow& existing : bucket) {
+    if (existing.tuple == row.tuple && IsSubset(existing.cond, row.cond)) {
+      ++state.stats.subsumed_rows;
+      return false;  // an already-present weaker condition derives it
+    }
+  }
+  // Remove rows strictly subsumed by the new one.
+  std::erase_if(bucket, [&row, &state](const CondRow& existing) {
+    bool gone = existing.tuple == row.tuple &&
+                IsSubset(row.cond, existing.cond);
+    if (gone) ++state.stats.subsumed_rows;
+    return gone;
+  });
+  bucket.push_back(std::move(row));
+  ++state.stats.derived_rows;
+  return true;
+}
+
+/// Matches rule argument terms against a row tuple, extending the rule-scope
+/// binding (rule variable -> table term) and accumulating equality atoms
+/// between table terms where needed. Returns false on hard mismatch.
+bool MatchArgs(const Tuple& args, const Tuple& row,
+               std::map<VarId, Term>& binding, AtomSet& cond) {
+  for (size_t i = 0; i < args.size(); ++i) {
+    Term need = args[i];
+    Term have = row[i];
+    if (need.is_constant()) {
+      CondAtom eq = Eq(need, have);
+      if (IsTriviallyFalse(eq)) return false;
+      if (!IsTriviallyTrue(eq)) cond.push_back(eq);
+      continue;
+    }
+    auto [it, inserted] = binding.emplace(need.variable(), have);
+    if (!inserted) {
+      CondAtom eq = Eq(it->second, have);
+      if (IsTriviallyFalse(eq)) return false;
+      if (!IsTriviallyTrue(eq)) cond.push_back(eq);
+    }
+  }
+  return true;
+}
+
+/// Fires one rule against the current rows, inserting head derivations.
+/// Returns true if anything new was added.
+bool FireRule(EvalState& state, const DatalogRule& rule) {
+  bool added = false;
+  std::map<VarId, Term> binding;
+  AtomSet cond;
+
+  std::function<void(size_t)> go = [&](size_t pos) {
+    if (pos == rule.body.size()) {
+      Tuple head;
+      head.reserve(rule.head.args.size());
+      for (const Term& t : rule.head.args) {
+        head.push_back(t.is_constant() ? t : binding.at(t.variable()));
+      }
+      CondRow out{std::move(head), cond};
+      std::sort(out.cond.begin(), out.cond.end());
+      out.cond.erase(std::unique(out.cond.begin(), out.cond.end()),
+                     out.cond.end());
+      added |= Insert(state, rule.head.predicate, std::move(out));
+      return;
+    }
+    const DatalogAtom& atom = rule.body[pos];
+    // Iterate over a snapshot (Insert may mutate the bucket of the head
+    // predicate; body predicates of the same index need stable iteration).
+    std::vector<CondRow> snapshot = state.rows[atom.predicate];
+    for (const CondRow& row : snapshot) {
+      auto saved_binding = binding;
+      size_t saved_cond = cond.size();
+      cond.insert(cond.end(), row.cond.begin(), row.cond.end());
+      if (MatchArgs(atom.args, row.tuple, binding, cond)) go(pos + 1);
+      binding = std::move(saved_binding);
+      cond.resize(saved_cond);
+    }
+  };
+  go(0);
+  return added;
+}
+
+}  // namespace
+
+CDatabase DatalogOnCTables(const DatalogProgram& program,
+                           const CDatabase& database,
+                           ConditionedFixpointStats* stats) {
+  EvalState state;
+  state.program = &program;
+  state.global = database.CombinedGlobal();
+  state.rows.resize(program.num_predicates());
+
+  // Seed extensional predicates with the input rows.
+  for (size_t p = 0; p < program.num_edb() && p < database.num_tables();
+       ++p) {
+    for (const CRow& row : database.table(p).rows()) {
+      Insert(state, static_cast<int>(p),
+             CondRow{row.tuple, Canonicalize(row.local)});
+    }
+  }
+
+  // Naive conditioned fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++state.stats.rounds;
+    for (const DatalogRule& rule : program.rules()) {
+      changed |= FireRule(state, rule);
+    }
+  }
+
+  CDatabase out;
+  for (size_t p = 0; p < program.num_predicates(); ++p) {
+    CTable t(program.arity(static_cast<int>(p)));
+    for (const CondRow& row : state.rows[p]) {
+      t.AddRow(row.tuple, Conjunction(std::vector<CondAtom>(
+                              row.cond.begin(), row.cond.end())));
+    }
+    if (p == 0) t.SetGlobal(state.global);
+    out.AddTable(std::move(t));
+  }
+  if (stats != nullptr) *stats = state.stats;
+  return out;
+}
+
+}  // namespace pw

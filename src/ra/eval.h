@@ -1,0 +1,21 @@
+// Evaluation of relational algebra on complete information databases.
+
+#ifndef PW_RA_EVAL_H_
+#define PW_RA_EVAL_H_
+
+#include "core/instance.h"
+#include "ra/expr.h"
+
+namespace pw {
+
+/// Evaluates `expr` on `input`. Referenced relations must exist with the
+/// declared arity.
+Relation Eval(const RaExpr& expr, const Instance& input);
+
+/// Evaluates every expression of `query`, producing one output relation per
+/// expression.
+Instance EvalQuery(const RaQuery& query, const Instance& input);
+
+}  // namespace pw
+
+#endif  // PW_RA_EVAL_H_

@@ -1,0 +1,53 @@
+#include "ra/properties.h"
+
+namespace pw {
+
+bool IsPositiveExistential(const RaExpr& expr, bool allow_neq) {
+  switch (expr.op()) {
+    case RaOp::kRel:
+    case RaOp::kConstRel:
+      return true;
+    case RaOp::kProject:
+      return IsPositiveExistential(expr.input(), allow_neq);
+    case RaOp::kSelect:
+      if (!allow_neq) {
+        for (const SelectAtom& a : expr.atoms()) {
+          if (!a.is_equality) return false;
+        }
+      }
+      return IsPositiveExistential(expr.input(), allow_neq);
+    case RaOp::kProduct:
+    case RaOp::kUnion:
+      return IsPositiveExistential(expr.left(), allow_neq) &&
+             IsPositiveExistential(expr.right(), allow_neq);
+    case RaOp::kDiff:
+      return false;
+  }
+  return false;
+}
+
+bool IsPositiveExistential(const RaQuery& query, bool allow_neq) {
+  for (const RaExpr& e : query) {
+    if (!IsPositiveExistential(e, allow_neq)) return false;
+  }
+  return true;
+}
+
+bool UsesDifference(const RaExpr& expr) {
+  switch (expr.op()) {
+    case RaOp::kRel:
+    case RaOp::kConstRel:
+      return false;
+    case RaOp::kProject:
+    case RaOp::kSelect:
+      return UsesDifference(expr.input());
+    case RaOp::kProduct:
+    case RaOp::kUnion:
+      return UsesDifference(expr.left()) || UsesDifference(expr.right());
+    case RaOp::kDiff:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace pw

@@ -1,0 +1,153 @@
+#include "reductions/colorability.h"
+
+namespace pw {
+
+namespace {
+
+/// The complete "proper color pairs" relation {ij | i,j in {1,2,3}, i != j}.
+Relation ColorPairs() {
+  Relation r(2);
+  for (ConstId i = 1; i <= 3; ++i) {
+    for (ConstId j = 1; j <= 3; ++j) {
+      if (i != j) r.Insert(Fact{i, j});
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+MembershipInstance ColorabilityToETableMembership(const Graph& graph) {
+  // Node a's color variable is x_a (VarId == node id).
+  CTable t(2);
+  for (const Fact& f : ColorPairs()) t.AddRow(ToTuple(f));
+  for (const auto& [a, b] : graph.edges()) {
+    t.AddRow(Tuple{Term::Var(a), Term::Var(b)});
+  }
+  MembershipInstance out;
+  out.database = CDatabase(std::move(t));
+  out.instance = Instance({ColorPairs()});
+  return out;
+}
+
+MembershipInstance ColorabilityToITableMembership(const Graph& graph) {
+  CTable t(1);
+  for (ConstId c = 1; c <= 3; ++c) t.AddRow(Tuple{Term::Const(c)});
+  for (int a = 0; a < graph.num_nodes(); ++a) {
+    t.AddRow(Tuple{Term::Var(a)});
+  }
+  Conjunction phi;
+  for (const auto& [a, b] : graph.edges()) {
+    phi.Add(Neq(Term::Var(a), Term::Var(b)));
+  }
+  t.SetGlobal(std::move(phi));
+
+  Relation i0(1);
+  for (ConstId c = 1; c <= 3; ++c) i0.Insert(Fact{c});
+
+  MembershipInstance out;
+  out.database = CDatabase(std::move(t));
+  out.instance = Instance({std::move(i0)});
+  return out;
+}
+
+MembershipInstance ColorabilityToViewMembership(const Graph& graph) {
+  int m = static_cast<int>(graph.num_edges());
+  // Edge j = (b_j, c_j) gets variables x_j (VarId j) and y_j (VarId m + j).
+  // Node ids are shifted by +1 to match the paper's 1-based figures; edge
+  // ids are 1..m.
+  CTable tr(5);
+  for (int j = 0; j < m; ++j) {
+    const auto& [b, c] = graph.edges()[j];
+    tr.AddRow(Tuple{Term::Const(b + 1), Term::Var(j), Term::Const(c + 1),
+                    Term::Var(m + j), Term::Const(j + 1)});
+  }
+  CTable ts = CTable::FromRelation(ColorPairs());
+
+  // R0 = {(a, j, k) | node a incident to edges j and k}; S0 = {1..m}.
+  Relation r0(3);
+  for (int j = 0; j < m; ++j) {
+    for (int k = 0; k < m; ++k) {
+      const auto& [bj, cj] = graph.edges()[j];
+      const auto& [bk, ck] = graph.edges()[k];
+      for (int a : {bj, cj}) {
+        if (a == bk || a == ck) r0.Insert(Fact{a + 1, j + 1, k + 1});
+      }
+    }
+  }
+  Relation s0(1);
+  for (int j = 0; j < m; ++j) s0.Insert(Fact{j + 1});
+
+  // q1 = pi_{x,z,z'}( E1(x,y,z) join_{x,y} E1(x,y,z') ) where
+  // E1 = pi_{0,1,4}(R) union pi_{2,3,4}(R): (node, color variable, edge id).
+  RaExpr r = RaExpr::Rel(0, 5);
+  RaExpr s = RaExpr::Rel(1, 2);
+  RaExpr e1 = RaExpr::Union(RaExpr::ProjectCols(r, {0, 1, 4}),
+                            RaExpr::ProjectCols(r, {2, 3, 4}));
+  RaExpr q1 = RaExpr::ProjectCols(
+      RaExpr::Select(RaExpr::Product(e1, e1),
+                     {SelectAtom::Eq(ColOrConst::Col(0), ColOrConst::Col(3)),
+                      SelectAtom::Eq(ColOrConst::Col(1), ColOrConst::Col(4))}),
+      {0, 2, 5});
+  // q2 = pi_{edge}( sigma_{y in S-pair with w}(R x S) ): the edge's two
+  // color values form a proper {1,2,3} pair.
+  RaExpr q2 = RaExpr::ProjectCols(
+      RaExpr::Select(RaExpr::Product(r, s),
+                     {SelectAtom::Eq(ColOrConst::Col(1), ColOrConst::Col(5)),
+                      SelectAtom::Eq(ColOrConst::Col(3), ColOrConst::Col(6))}),
+      {4});
+
+  MembershipInstance out;
+  CDatabase db;
+  db.AddTable(std::move(tr));
+  db.AddTable(std::move(ts));
+  out.database = std::move(db);
+  out.instance = Instance({std::move(r0), std::move(s0)});
+  out.view = View::Ra({q1, q2});
+  return out;
+}
+
+UniquenessInstance NonColorabilityToViewUniqueness(const Graph& graph) {
+  // T0 = {(1, a, b) | (a,b) in E} union {(0, a, x_a) | a in V}; nodes 1-based.
+  CTable t0(3);
+  for (const auto& [a, b] : graph.edges()) {
+    t0.AddRow(Tuple{Term::Const(1), Term::Const(a + 1), Term::Const(b + 1)});
+  }
+  for (int a = 0; a < graph.num_nodes(); ++a) {
+    t0.AddRow(Tuple{Term::Const(0), Term::Const(a + 1), Term::Var(a)});
+  }
+
+  // q0 = {1 | exists xyz [R(1xy) ^ R(0xz) ^ R(0yz)]
+  //          v exists yz [R(0yz) ^ z != 1 ^ z != 2 ^ z != 3]}.
+  RaExpr rel = RaExpr::Rel(0, 3);
+  RaExpr part1 = RaExpr::Project(
+      RaExpr::Select(
+          RaExpr::Product(RaExpr::Product(rel, rel), rel),
+          {SelectAtom::Eq(ColOrConst::Col(0), ColOrConst::Const(1)),
+           SelectAtom::Eq(ColOrConst::Col(3), ColOrConst::Const(0)),
+           SelectAtom::Eq(ColOrConst::Col(6), ColOrConst::Const(0)),
+           SelectAtom::Eq(ColOrConst::Col(1), ColOrConst::Col(4)),
+           SelectAtom::Eq(ColOrConst::Col(2), ColOrConst::Col(7)),
+           SelectAtom::Eq(ColOrConst::Col(5), ColOrConst::Col(8))}),
+      {ColOrConst::Const(1)});
+  RaExpr part2 = RaExpr::Project(
+      RaExpr::Select(rel,
+                     {SelectAtom::Eq(ColOrConst::Col(0), ColOrConst::Const(0)),
+                      SelectAtom::Neq(ColOrConst::Col(2), ColOrConst::Const(1)),
+                      SelectAtom::Neq(ColOrConst::Col(2), ColOrConst::Const(2)),
+                      SelectAtom::Neq(ColOrConst::Col(2),
+                                      ColOrConst::Const(3))}),
+      {ColOrConst::Const(1)});
+  RaExpr q0 = RaExpr::Union(part1, part2);
+
+  Relation ones(1);
+  ones.Insert(Fact{1});
+
+  UniquenessInstance out;
+  out.database = CDatabase(std::move(t0));
+  out.instance = Instance({std::move(ones)});
+  out.view = View::Ra({q0});
+  return out;
+}
+
+}  // namespace pw

@@ -1,0 +1,55 @@
+// The graph 3-colorability reductions of Theorem 3.1(2,3,4) and the
+// non-3-colorability reduction of Theorem 3.2(4).
+//
+// Each generator maps a graph G to an instance of a decision problem such
+// that the problem answers "yes" iff G is (resp. is not) 3-colorable. These
+// are simultaneously the NP/coNP-hardness proofs and our hard-instance
+// workload generators; tests cross-validate every generated instance against
+// the brute-force coloring solver.
+
+#ifndef PW_REDUCTIONS_COLORABILITY_H_
+#define PW_REDUCTIONS_COLORABILITY_H_
+
+#include "core/instance.h"
+#include "decision/view.h"
+#include "solvers/graph.h"
+#include "tables/ctable.h"
+
+namespace pw {
+
+/// A generated MEMB instance: is `instance` in view(rep(database))?
+struct MembershipInstance {
+  CDatabase database;
+  Instance instance;
+  View view = View::Identity();
+};
+
+/// A generated UNIQ instance: is view(rep(database)) == {instance}?
+struct UniquenessInstance {
+  CDatabase database;
+  Instance instance;
+  View view = View::Identity();
+};
+
+/// Theorem 3.1(2): e-table T = {ij : i != j in {1,2,3}} union {x_a x_b per
+/// edge}, I0 = {ij : i != j}. G is 3-colorable iff I0 in rep(T).
+MembershipInstance ColorabilityToETableMembership(const Graph& graph);
+
+/// Theorem 3.1(3): i-table T = {1,2,3} union {x_a per node} with global
+/// condition {x_a != x_b per edge}, I0 = {1,2,3}. G is 3-colorable iff
+/// I0 in rep(T, phi).
+MembershipInstance ColorabilityToITableMembership(const Graph& graph);
+
+/// Theorem 3.1(4): tables T(R) (arity 5) and T(S) (arity 2), a positive
+/// existential query q = (q1, q2), and I0 = (R0, S0) such that G is
+/// 3-colorable iff I0 in q(rep(T)).
+MembershipInstance ColorabilityToViewMembership(const Graph& graph);
+
+/// Theorem 3.2(4): table T0 = {1ab per edge} union {0 a x_a per node} and a
+/// positive existential query with != q0 of arity 1, such that G is NOT
+/// 3-colorable iff {(1)} is the unique instance of rep(q0(T0)).
+UniquenessInstance NonColorabilityToViewUniqueness(const Graph& graph);
+
+}  // namespace pw
+
+#endif  // PW_REDUCTIONS_COLORABILITY_H_

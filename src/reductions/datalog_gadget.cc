@@ -1,0 +1,86 @@
+#include "reductions/datalog_gadget.h"
+
+namespace pw {
+
+DatalogPossibilityInstance SatToDatalogPossibility(const ClausalFormula& cnf) {
+  int n = cnf.num_vars;
+  int m = static_cast<int>(cnf.clauses.size());
+
+  DatalogPossibilityInstance out;
+  out.goal = 1;
+  out.a = 2;
+  for (int i = 0; i < n; ++i) {
+    out.t_node.push_back(10 + 4 * i);
+    out.f_node.push_back(10 + 4 * i + 1);
+    out.a_node.push_back(10 + 4 * i + 2);
+    out.b_node.push_back(10 + 4 * i + 3);
+  }
+  for (int j = 0; j < m; ++j) out.h_node.push_back(10 + 4 * n + j);
+
+  auto c = [](ConstId id) { return Term::Const(id); };
+  // Propositional variable x_i's table variable has VarId i.
+  auto x = [](int i) { return Term::Var(i); };
+
+  CTable r0(1);
+  r0.AddRow(Tuple{c(out.a)});
+
+  CTable r1(2);
+  CTable r2(2);
+  for (int i = 0; i < n; ++i) {
+    r1.AddRow(Tuple{c(out.a), c(out.t_node[i])});
+    r1.AddRow(Tuple{c(out.a), c(out.f_node[i])});
+    r1.AddRow(Tuple{c(out.a), c(out.a_node[i])});
+    r2.AddRow(Tuple{c(out.t_node[i]), c(out.a_node[i])});
+    r2.AddRow(Tuple{c(out.f_node[i]), c(out.a_node[i])});
+    r2.AddRow(Tuple{c(out.a_node[i]), c(out.b_node[i])});
+  }
+  r1.AddRow(Tuple{c(out.a), c(out.b_node[0])});
+  for (int i = 0; i + 1 < n; ++i) {
+    r1.AddRow(Tuple{c(out.b_node[i]), c(out.b_node[i + 1])});
+  }
+  r1.AddRow(Tuple{c(out.b_node[n - 1]), c(out.goal)});
+  for (int j = 0; j < m; ++j) {
+    for (const Literal& lit : cnf.clauses[j]) {
+      Term from = lit.negated ? c(out.f_node[lit.var]) : c(out.t_node[lit.var]);
+      r1.AddRow(Tuple{from, c(out.h_node[j])});
+    }
+  }
+  r2.AddRow(Tuple{c(out.a), x(0)});
+  for (int i = 0; i + 1 < n; ++i) {
+    r2.AddRow(Tuple{c(out.a_node[i]), x(i + 1)});
+  }
+  r2.AddRow(Tuple{c(out.a), c(out.h_node[0])});
+  for (int j = 0; j + 1 < m; ++j) {
+    r2.AddRow(Tuple{c(out.h_node[j]), c(out.h_node[j + 1])});
+  }
+  r2.AddRow(Tuple{c(out.h_node[m - 1]), c(out.goal)});
+
+  // DATALOG program: predicates 0 = R0, 1 = R1, 2 = R2 (EDB), 3 = Q (IDB):
+  //   Q(x) :- R0(x).
+  //   Q(x) :- Q(y), Q(z), R1(y, x), R2(z, x).
+  DatalogProgram program({1, 2, 2, 1}, /*num_edb=*/3);
+  {
+    DatalogRule seed;
+    seed.head = {3, Tuple{Term::Var(0)}};
+    seed.body = {{0, Tuple{Term::Var(0)}}};
+    program.AddRule(std::move(seed));
+    DatalogRule step;
+    step.head = {3, Tuple{Term::Var(0)}};
+    step.body = {{3, Tuple{Term::Var(1)}},
+                 {3, Tuple{Term::Var(2)}},
+                 {1, Tuple{Term::Var(1), Term::Var(0)}},
+                 {2, Tuple{Term::Var(2), Term::Var(0)}}};
+    program.AddRule(std::move(step));
+  }
+
+  CDatabase db;
+  db.AddTable(std::move(r0));
+  db.AddTable(std::move(r1));
+  db.AddTable(std::move(r2));
+  out.database = std::move(db);
+  out.view = View::Datalog(std::move(program), {3});
+  out.pattern = {LocatedFact{0, Fact{out.goal}}};
+  return out;
+}
+
+}  // namespace pw

@@ -1,0 +1,37 @@
+// The DATALOG possibility gadget of Theorem 5.2(3): NP-hardness of
+// POSS(1, q) for a fixed DATALOG query q applied to Codd-tables.
+
+#ifndef PW_REDUCTIONS_DATALOG_GADGET_H_
+#define PW_REDUCTIONS_DATALOG_GADGET_H_
+
+#include "core/instance.h"
+#include "decision/view.h"
+#include "solvers/cnf.h"
+#include "tables/ctable.h"
+
+namespace pw {
+
+/// The generated POSS(1, q) instance: database (R0, R1, R2), DATALOG view q
+/// (the least fixpoint of q1(R) = {x | R(x) v exists yz [R(y) ^ R(z) ^
+/// R1(y,x) ^ R2(z,x)]} containing R0), and the one-fact pattern {(1)}.
+/// H is satisfiable iff (1) is a possible answer.
+struct DatalogPossibilityInstance {
+  CDatabase database;
+  View view;
+  std::vector<LocatedFact> pattern;
+
+  // Constant ids chosen for the gadget nodes (documented for tests):
+  ConstId goal;                 // the paper's constant "1"
+  ConstId a;                    // the start node "a"
+  std::vector<ConstId> t_node;  // t_i per propositional variable
+  std::vector<ConstId> f_node;  // f_i
+  std::vector<ConstId> a_node;  // a_i
+  std::vector<ConstId> b_node;  // b_i
+  std::vector<ConstId> h_node;  // h_j per clause
+};
+
+DatalogPossibilityInstance SatToDatalogPossibility(const ClausalFormula& cnf);
+
+}  // namespace pw
+
+#endif  // PW_REDUCTIONS_DATALOG_GADGET_H_

@@ -1,0 +1,253 @@
+#include "reductions/forall_exists.h"
+
+#include <cassert>
+
+#include "ilalgebra/ctable_eval.h"
+
+namespace pw {
+
+namespace {
+
+/// Adds the seven rows {(a, b, c, 0) : a, b, c in {0,1}, a+b+c != 0}.
+void AddBooleanBlock(CTable& table) {
+  for (int a = 0; a <= 1; ++a) {
+    for (int b = 0; b <= 1; ++b) {
+      for (int c = 0; c <= 1; ++c) {
+        if (a + b + c == 0) continue;
+        table.AddRow(Tuple{Term::Const(a), Term::Const(b), Term::Const(c),
+                           Term::Const(0)});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ContainmentInstance ForallExistsToTableInITable(const ForallExistsCnf& qbf) {
+  int n = qbf.num_forall;
+  int nm = qbf.formula.num_vars;  // n + m
+  int p = static_cast<int>(qbf.formula.clauses.size());
+
+  // lhs variable ids: z_i -> i (0-based universal variable index).
+  // rhs variable ids, disjoint block layout:
+  //   u_l -> l                 for l in [0, nm)
+  //   v_l -> nm + l            for l in [0, nm)
+  //   w_i -> 2*nm + i          for i in [0, n)
+  //   y_i -> 2*nm + n + i      for i in [0, n)
+  //   z_{k,j} -> 2*nm + 2*n + 3*k + j
+  auto u = [](int l) { return Term::Var(l); };
+  auto v = [nm](int l) { return Term::Var(nm + l); };
+  auto w = [nm](int i) { return Term::Var(2 * nm + i); };
+  auto y = [nm, n](int i) { return Term::Var(2 * nm + n + i); };
+  auto zkj = [nm, n](int k, int j) {
+    return Term::Var(2 * nm + 2 * n + 3 * k + j);
+  };
+
+  CTable t0(4);
+  for (int i = 0; i < n; ++i) {
+    // Universal variable x_i (ids 1-based in tuples to avoid the 0 marker).
+    t0.AddRow(Tuple{Term::Const(0), Term::Var(i), Term::Const(i + 1),
+                    Term::Const(i + 1)});
+    t0.AddRow(Tuple{Term::Const(1), Term::Const(0), Term::Const(i + 1),
+                    Term::Const(i + 1)});
+  }
+  AddBooleanBlock(t0);
+
+  CTable t(4);
+  for (int i = 0; i < n; ++i) {
+    t.AddRow(Tuple{u(i), w(i), Term::Const(i + 1), Term::Const(i + 1)});
+    t.AddRow(Tuple{v(i), y(i), Term::Const(i + 1), Term::Const(i + 1)});
+  }
+  AddBooleanBlock(t);
+  for (int k = 0; k < p; ++k) {
+    t.AddRow(Tuple{zkj(k, 0), zkj(k, 1), zkj(k, 2), Term::Const(0)});
+  }
+
+  Conjunction phi;
+  for (int i = 0; i < n; ++i) {
+    phi.Add(Neq(w(i), Term::Const(5)));
+    phi.Add(Neq(y(i), Term::Const(6)));
+  }
+  // Complementary literal occurrences must not both be marked satisfied.
+  for (int k = 0; k < p; ++k) {
+    const Clause& ck = qbf.formula.clauses[k];
+    for (size_t j = 0; j < ck.size(); ++j) {
+      for (int k2 = 0; k2 < p; ++k2) {
+        const Clause& ck2 = qbf.formula.clauses[k2];
+        for (size_t j2 = 0; j2 < ck2.size(); ++j2) {
+          if (ck[j].var == ck2[j2].var && !ck[j].negated &&
+              ck2[j2].negated) {
+            phi.Add(Neq(zkj(k, static_cast<int>(j)),
+                        zkj(k2, static_cast<int>(j2))));
+          }
+        }
+      }
+      // Literal truth must agree with the variable's assignment encoding.
+      const Literal& lit = ck[j];
+      phi.Add(Neq(zkj(k, static_cast<int>(j)),
+                  lit.negated ? u(lit.var) : v(lit.var)));
+    }
+  }
+  t.SetGlobal(std::move(phi));
+
+  ContainmentInstance out;
+  out.lhs = CDatabase(std::move(t0));
+  out.rhs = CDatabase(std::move(t));
+  return out;
+}
+
+ContainmentInstance ForallExistsToTableInViewOfTables(
+    const ForallExistsCnf& qbf) {
+  int n = qbf.num_forall;
+  int p = static_cast<int>(qbf.formula.clauses.size());
+
+  // lhs: R0 = {(i, v_i)} (VarId i), S0 = {1..p}.
+  CTable r0(2);
+  for (int i = 0; i < n; ++i) {
+    r0.AddRow(Tuple{Term::Const(i + 1), Term::Var(i)});
+  }
+  CTable s0(1);
+  for (int k = 0; k < p; ++k) s0.AddRow(Tuple{Term::Const(k + 1)});
+
+  // rhs: R = {(i, u_i)} (VarId i), S = {(k, z_{k,j}, var, polarity)}
+  // (z VarId = n + 3*k + j).
+  CTable tr(2);
+  for (int i = 0; i < n; ++i) {
+    tr.AddRow(Tuple{Term::Const(i + 1), Term::Var(i)});
+  }
+  CTable ts(4);
+  for (int k = 0; k < p; ++k) {
+    const Clause& ck = qbf.formula.clauses[k];
+    for (size_t j = 0; j < ck.size(); ++j) {
+      ts.AddRow(Tuple{Term::Const(k + 1),
+                      Term::Var(n + 3 * k + static_cast<int>(j)),
+                      Term::Const(ck[j].var + 1),
+                      Term::Const(ck[j].negated ? 0 : 1)});
+    }
+  }
+
+  // q1 = R; q2 = d1 v d2 v d3 v d4 (see Theorem 4.2(2)).
+  RaExpr r = RaExpr::Rel(0, 2);
+  RaExpr s = RaExpr::Rel(1, 4);
+  RaExpr d1 = RaExpr::ProjectCols(
+      RaExpr::Select(s, {SelectAtom::Eq(ColOrConst::Col(1),
+                                        ColOrConst::Const(1))}),
+      {0});
+  // Some variable has both a satisfied positive and a satisfied negative
+  // occurrence -> emit 0.
+  RaExpr d2 = RaExpr::Project(
+      RaExpr::Select(RaExpr::Product(s, s),
+                     {SelectAtom::Eq(ColOrConst::Col(1), ColOrConst::Const(1)),
+                      SelectAtom::Eq(ColOrConst::Col(3), ColOrConst::Const(0)),
+                      SelectAtom::Eq(ColOrConst::Col(5), ColOrConst::Const(1)),
+                      SelectAtom::Eq(ColOrConst::Col(7), ColOrConst::Const(1)),
+                      SelectAtom::Eq(ColOrConst::Col(2), ColOrConst::Col(6))}),
+      {ColOrConst::Const(0)});
+  // A universal variable assigned 0 with a satisfied positive occurrence.
+  RaExpr d3 = RaExpr::Project(
+      RaExpr::Select(RaExpr::Product(r, s),
+                     {SelectAtom::Eq(ColOrConst::Col(1), ColOrConst::Const(0)),
+                      SelectAtom::Eq(ColOrConst::Col(3), ColOrConst::Const(1)),
+                      SelectAtom::Eq(ColOrConst::Col(4), ColOrConst::Col(0)),
+                      SelectAtom::Eq(ColOrConst::Col(5),
+                                     ColOrConst::Const(1))}),
+      {ColOrConst::Const(0)});
+  // A universal variable assigned 1 with a satisfied negative occurrence.
+  RaExpr d4 = RaExpr::Project(
+      RaExpr::Select(RaExpr::Product(r, s),
+                     {SelectAtom::Eq(ColOrConst::Col(1), ColOrConst::Const(1)),
+                      SelectAtom::Eq(ColOrConst::Col(3), ColOrConst::Const(1)),
+                      SelectAtom::Eq(ColOrConst::Col(4), ColOrConst::Col(0)),
+                      SelectAtom::Eq(ColOrConst::Col(5),
+                                     ColOrConst::Const(0))}),
+      {ColOrConst::Const(0)});
+  RaExpr q2 = RaExpr::Union(RaExpr::Union(d1, d2), RaExpr::Union(d3, d4));
+
+  ContainmentInstance out;
+  CDatabase lhs;
+  lhs.AddTable(std::move(r0));
+  lhs.AddTable(std::move(s0));
+  out.lhs = std::move(lhs);
+  CDatabase rhs;
+  rhs.AddTable(std::move(tr));
+  rhs.AddTable(std::move(ts));
+  out.rhs = std::move(rhs);
+  out.rhs_view = View::Ra({r, q2});
+  return out;
+}
+
+ContainmentInstance ForallExistsToViewOfTablesInETables(
+    const ForallExistsCnf& qbf) {
+  int n = qbf.num_forall;
+  int p = static_cast<int>(qbf.formula.clauses.size());
+
+  // lhs variable ids: y_i -> i, z_i -> n + i.
+  CTable r0(3);
+  for (int i = 0; i < p; ++i) {
+    for (int j = 0; j <= 1; ++j) {
+      for (int k = 0; k <= 1; ++k) {
+        r0.AddRow(Tuple{Term::Const(i + 1), Term::Const(j), Term::Const(k)});
+      }
+    }
+  }
+  CTable s0(3);
+  for (int i = 0; i < n; ++i) {
+    s0.AddRow(Tuple{Term::Const(i + 1), Term::Var(i), Term::Var(n + i)});
+  }
+
+  // q01 = R0; q02 = {(x,1) | S0(x,y,y)} union {(x,0) | S0(x,y,z)}.
+  RaExpr r0e = RaExpr::Rel(0, 3);
+  RaExpr s0e = RaExpr::Rel(1, 3);
+  RaExpr q02 = RaExpr::Union(
+      RaExpr::Project(
+          RaExpr::Select(s0e, {SelectAtom::Eq(ColOrConst::Col(1),
+                                              ColOrConst::Col(2))}),
+          {ColOrConst::Col(0), ColOrConst::Const(1)}),
+      RaExpr::Project(s0e, {ColOrConst::Col(0), ColOrConst::Const(0)}));
+
+  // rhs variable ids: u_l -> l for l in [0, n+m); clause witness
+  // z_i -> (n+m) + i.
+  int nm = qbf.formula.num_vars;
+  CTable tr(3);
+  for (int i = 0; i < p; ++i) {
+    const Clause& ci = qbf.formula.clauses[i];
+    for (const Literal& lit : ci) {
+      tr.AddRow(Tuple{Term::Const(i + 1), Term::Var(lit.var),
+                      Term::Const(lit.negated ? 0 : 1)});
+    }
+    tr.AddRow(Tuple{Term::Const(i + 1), Term::Const(1), Term::Const(0)});
+    tr.AddRow(Tuple{Term::Const(i + 1), Term::Const(0), Term::Const(1)});
+    tr.AddRow(Tuple{Term::Const(i + 1), Term::Var(nm + i), Term::Var(nm + i)});
+  }
+  CTable ts(2);
+  for (int i = 0; i < n; ++i) {
+    ts.AddRow(Tuple{Term::Const(i + 1), Term::Var(i)});
+    ts.AddRow(Tuple{Term::Const(i + 1), Term::Const(0)});
+  }
+
+  ContainmentInstance out;
+  CDatabase lhs;
+  lhs.AddTable(std::move(r0));
+  lhs.AddTable(std::move(s0));
+  out.lhs = std::move(lhs);
+  out.lhs_view = View::Ra({r0e, q02});
+  CDatabase rhs;
+  rhs.AddTable(std::move(tr));
+  rhs.AddTable(std::move(ts));
+  out.rhs = std::move(rhs);
+  return out;
+}
+
+ContainmentInstance ForallExistsToCTableInETables(const ForallExistsCnf& qbf) {
+  ContainmentInstance base = ForallExistsToViewOfTablesInETables(qbf);
+  // Materialize q0's image as a c-database ([10]'s PTIME construction);
+  // identity queries on both sides afterwards.
+  auto image = EvalQueryOnCTables(base.lhs_view.ra(), base.lhs);
+  assert(image.has_value());
+  ContainmentInstance out;
+  out.lhs = std::move(*image);
+  out.rhs = std::move(base.rhs);
+  return out;
+}
+
+}  // namespace pw

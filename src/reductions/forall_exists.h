@@ -1,0 +1,39 @@
+// The forall-exists-3CNF reductions of Theorem 4.2: the Pi-2-p-hardness of
+// the containment problem, reached already at remarkably low expressiveness
+// (a Codd-table contained in an i-table, Thm 4.2(1)).
+
+#ifndef PW_REDUCTIONS_FORALL_EXISTS_H_
+#define PW_REDUCTIONS_FORALL_EXISTS_H_
+
+#include "reductions/tautology.h"
+#include "solvers/cnf.h"
+
+namespace pw {
+
+/// Theorem 4.2(1): arity-4 tables. lhs: a Codd-table T0 (one variable z_i
+/// per universal variable); rhs: an i-table (T, phi_T) whose inequalities
+/// encode literal consistency. The forall-exists instance is true iff
+/// rep(T0) subseteq rep(T, phi_T).
+ContainmentInstance ForallExistsToTableInITable(const ForallExistsCnf& qbf);
+
+/// Theorem 4.2(2): lhs tables (R0 = {(i, v_i)}, S0 = {1..p}); rhs tables
+/// (R = {(i, u_i)}, S = clause/mark/var/polarity rows) with a positive
+/// existential query q = (q1, q2). True iff rep(T0) subseteq q(rep(T)).
+ContainmentInstance ForallExistsToTableInViewOfTables(
+    const ForallExistsCnf& qbf);
+
+/// Theorem 4.2(5): lhs tables (R0 = clause boolean grid, S0 = {(i,y_i,z_i)})
+/// with positive existential q0 = (q01, q02); rhs e-tables (R, S). True iff
+/// q0(rep(T0)) subseteq rep(T).
+ContainmentInstance ForallExistsToViewOfTablesInETables(
+    const ForallExistsCnf& qbf);
+
+/// Theorem 4.2(3): c-table lhs versus e-table rhs with identity queries on
+/// both sides — obtained from the 4.2(5) instance by materializing q0's
+/// image as a c-table via the Imielinski–Lipski algebra (the paper's own
+/// argument).
+ContainmentInstance ForallExistsToCTableInETables(const ForallExistsCnf& qbf);
+
+}  // namespace pw
+
+#endif  // PW_REDUCTIONS_FORALL_EXISTS_H_

@@ -1,0 +1,78 @@
+#include "reductions/satisfiability.h"
+
+namespace pw {
+
+UnboundedPossibilityInstance SatToETablePossibility(
+    const ClausalFormula& cnf) {
+  int m = cnf.num_vars;
+  int n = static_cast<int>(cnf.clauses.size());
+  // Variable ids: u_j -> j, y_j -> m + j.
+  auto u = [](int j) { return Term::Var(j); };
+  auto y = [m](int j) { return Term::Var(m + j); };
+
+  CTable t(3);
+  for (int j = 0; j < m; ++j) {
+    t.AddRow(Tuple{Term::Const(j + 1), u(j), y(j)});
+    t.AddRow(Tuple{Term::Const(j + 1), y(j), u(j)});
+  }
+  for (int i = 0; i < n; ++i) {
+    for (const Literal& lit : cnf.clauses[i]) {
+      Term marker = lit.negated ? y(lit.var) : u(lit.var);
+      t.AddRow(Tuple{Term::Const(m + i + 1), Term::Const(m + i + 1), marker});
+    }
+  }
+
+  Relation p(3);
+  for (int j = 0; j < m; ++j) {
+    p.Insert(Fact{j + 1, 0, 1});
+    p.Insert(Fact{j + 1, 1, 0});
+  }
+  for (int i = 0; i < n; ++i) {
+    p.Insert(Fact{m + i + 1, m + i + 1, 1});
+  }
+
+  UnboundedPossibilityInstance out;
+  out.database = CDatabase(std::move(t));
+  out.pattern = Instance({std::move(p)});
+  return out;
+}
+
+UnboundedPossibilityInstance SatToITablePossibility(
+    const ClausalFormula& cnf) {
+  int n = static_cast<int>(cnf.clauses.size());
+  // Variable ids: x_{i,k} -> 3*i + k.
+  auto x = [](int i, int k) { return Term::Var(3 * i + k); };
+
+  CTable t(2);
+  for (int i = 0; i < n; ++i) {
+    for (size_t k = 0; k < cnf.clauses[i].size(); ++k) {
+      t.AddRow(Tuple{Term::Const(i + 1), x(i, static_cast<int>(k))});
+    }
+  }
+  Conjunction phi;
+  for (int i = 0; i < n; ++i) {
+    const Clause& ci = cnf.clauses[i];
+    for (size_t k = 0; k < ci.size(); ++k) {
+      if (ci[k].negated) continue;
+      for (int j = 0; j < n; ++j) {
+        const Clause& cj = cnf.clauses[j];
+        for (size_t l = 0; l < cj.size(); ++l) {
+          if (cj[l].negated && cj[l].var == ci[k].var) {
+            phi.Add(Neq(x(i, static_cast<int>(k)), x(j, static_cast<int>(l))));
+          }
+        }
+      }
+    }
+  }
+  t.SetGlobal(std::move(phi));
+
+  Relation p(2);
+  for (int i = 0; i < n; ++i) p.Insert(Fact{i + 1, 1});
+
+  UnboundedPossibilityInstance out;
+  out.database = CDatabase(std::move(t));
+  out.pattern = Instance({std::move(p)});
+  return out;
+}
+
+}  // namespace pw

@@ -1,0 +1,33 @@
+// The 3CNF-satisfiability reductions of Theorem 5.1(2,3): NP-hardness of
+// unbounded possibility on e-tables and i-tables.
+
+#ifndef PW_REDUCTIONS_SATISFIABILITY_H_
+#define PW_REDUCTIONS_SATISFIABILITY_H_
+
+#include "core/instance.h"
+#include "solvers/cnf.h"
+#include "tables/ctable.h"
+
+namespace pw {
+
+/// A generated POSS(*) instance: is some world of rep(database) a superset
+/// of `pattern`?
+struct UnboundedPossibilityInstance {
+  CDatabase database;
+  Instance pattern;
+};
+
+/// Theorem 5.1(2): e-table of arity 3 with rows (j, u_j, y_j), (j, y_j, u_j)
+/// per variable and (m+i, m+i, literal-var) per clause; pattern requires
+/// (j,0,1), (j,1,0) per variable and (m+i, m+i, 1) per clause. H satisfiable
+/// iff the pattern is possible.
+UnboundedPossibilityInstance SatToETablePossibility(const ClausalFormula& cnf);
+
+/// Theorem 5.1(3): i-table of arity 2 with rows (i, x_{i,k}) per clause
+/// position, inequalities between complementary literal occurrences, and
+/// pattern {(i, 1)} per clause. H satisfiable iff the pattern is possible.
+UnboundedPossibilityInstance SatToITablePossibility(const ClausalFormula& cnf);
+
+}  // namespace pw
+
+#endif  // PW_REDUCTIONS_SATISFIABILITY_H_

@@ -1,0 +1,140 @@
+#include "reductions/tautology.h"
+
+namespace pw {
+
+UniquenessInstance TautologyToCTableUniqueness(const ClausalFormula& dnf) {
+  // Variable u_j of the condition language encodes propositional variable
+  // x_j: u_j = 1 means true, u_j != 1 means false (VarId == j).
+  CTable t0(1);
+  for (const Clause& clause : dnf.clauses) {
+    Conjunction local;
+    for (const Literal& lit : clause) {
+      Term u = Term::Var(lit.var);
+      local.Add(lit.negated ? Neq(u, Term::Const(1)) : Eq(u, Term::Const(1)));
+    }
+    t0.AddRow(Tuple{Term::Const(1)}, std::move(local));
+  }
+
+  Relation one(1);
+  one.Insert(Fact{1});
+
+  UniquenessInstance out;
+  out.database = CDatabase(std::move(t0));
+  out.instance = Instance({std::move(one)});
+  return out;
+}
+
+ContainmentInstance TautologyToViewInTableContainment(
+    const ClausalFormula& dnf) {
+  int p = static_cast<int>(dnf.clauses.size());
+  int m = dnf.num_vars;
+
+  // lhs: R0 = clause/variable/polarity triples (1-based ids), S0 = (j, u_j).
+  CTable r0(3);
+  for (int i = 0; i < p; ++i) {
+    for (const Literal& lit : dnf.clauses[i]) {
+      r0.AddRow(Tuple{Term::Const(i + 1), Term::Const(lit.var + 1),
+                      Term::Const(lit.negated ? 0 : 1)});
+    }
+  }
+  CTable s0(2);
+  for (int j = 0; j < m; ++j) {
+    s0.AddRow(Tuple{Term::Const(j + 1), Term::Var(j)});
+  }
+
+  // q0 = {x | exists yz (R0(xyz) ^ S0(yz))} union {(0)}.
+  RaExpr r0e = RaExpr::Rel(0, 3);
+  RaExpr s0e = RaExpr::Rel(1, 2);
+  Relation zero(1);
+  zero.Insert(Fact{0});
+  RaExpr q0 = RaExpr::Union(
+      RaExpr::ProjectCols(
+          RaExpr::Select(
+              RaExpr::Product(r0e, s0e),
+              {SelectAtom::Eq(ColOrConst::Col(1), ColOrConst::Col(3)),
+               SelectAtom::Eq(ColOrConst::Col(2), ColOrConst::Col(4))}),
+          {0}),
+      RaExpr::ConstRel(zero));
+
+  // rhs: the Codd table {z_1, ..., z_p} (rhs VarIds 0..p-1).
+  CTable t(1);
+  for (int k = 0; k < p; ++k) t.AddRow(Tuple{Term::Var(k)});
+
+  ContainmentInstance out;
+  CDatabase lhs;
+  lhs.AddTable(std::move(r0));
+  lhs.AddTable(std::move(s0));
+  out.lhs = std::move(lhs);
+  out.lhs_view = View::Ra({q0});
+  out.rhs = CDatabase(std::move(t));
+  out.rhs_view = View::Identity();
+  return out;
+}
+
+TautologyFoInstance TautologyToFirstOrderCertainty(const ClausalFormula& dnf) {
+  int p = static_cast<int>(dnf.clauses.size());
+
+  // T: for clause i (1-based), position k, literal over var j (1-based),
+  // polarity b: row (i, z_{i,k}, j, b) with z_{i,k} a fresh variable
+  // (VarId == 3*i + k).
+  CTable t(4);
+  for (int i = 0; i < p; ++i) {
+    for (size_t k = 0; k < dnf.clauses[i].size(); ++k) {
+      const Literal& lit = dnf.clauses[i][k];
+      t.AddRow(Tuple{Term::Const(i + 1), Term::Var(3 * i + static_cast<int>(k)),
+                     Term::Const(lit.var + 1),
+                     Term::Const(lit.negated ? 0 : 1)});
+    }
+  }
+
+  // NOT psi  ==  "sigma(T) encodes a truth assignment that falsifies H":
+  //   A: no mark outside {0,1}
+  //   B: no inconsistent pair of marks on the same variable
+  //   C: no clause with all marks 1 (DNF conjunct satisfied)
+  RaExpr r = RaExpr::Rel(0, 4);
+  auto one_if_nonempty = [](const RaExpr& e) {
+    return RaExpr::Project(e, {ColOrConst::Const(1)});
+  };
+
+  RaExpr viol_a = RaExpr::Select(
+      r, {SelectAtom::Neq(ColOrConst::Col(1), ColOrConst::Const(0)),
+          SelectAtom::Neq(ColOrConst::Col(1), ColOrConst::Const(1))});
+  // Same variable, same polarity, different marks.
+  RaExpr viol_b1 = RaExpr::Select(
+      RaExpr::Product(r, r),
+      {SelectAtom::Eq(ColOrConst::Col(2), ColOrConst::Col(6)),
+       SelectAtom::Eq(ColOrConst::Col(3), ColOrConst::Col(7)),
+       SelectAtom::Neq(ColOrConst::Col(1), ColOrConst::Col(5))});
+  // Same variable, different polarity, same mark.
+  RaExpr viol_b2 = RaExpr::Select(
+      RaExpr::Product(r, r),
+      {SelectAtom::Eq(ColOrConst::Col(2), ColOrConst::Col(6)),
+       SelectAtom::Neq(ColOrConst::Col(3), ColOrConst::Col(7)),
+       SelectAtom::Eq(ColOrConst::Col(1), ColOrConst::Col(5))});
+  // Clauses whose marks are all 1 (the assignment satisfies the conjunct).
+  RaExpr all_clauses = RaExpr::ProjectCols(r, {0});
+  RaExpr has_non_one = RaExpr::ProjectCols(
+      RaExpr::Select(r, {SelectAtom::Neq(ColOrConst::Col(1),
+                                         ColOrConst::Const(1))}),
+      {0});
+  RaExpr sat_clauses = RaExpr::Diff(all_clauses, has_non_one);
+
+  Relation one_rel(1);
+  one_rel.Insert(Fact{1});
+  RaExpr violations = RaExpr::Union(
+      RaExpr::Union(one_if_nonempty(viol_a), one_if_nonempty(viol_b1)),
+      RaExpr::Union(one_if_nonempty(viol_b2), one_if_nonempty(sat_clauses)));
+  // q  = {(1) | NOT psi}: possible iff H is not a tautology.
+  RaExpr q_not_psi = RaExpr::Diff(RaExpr::ConstRel(one_rel), violations);
+  // q' = {(1) | psi}: certain iff H is a tautology.
+  RaExpr q_psi = RaExpr::Diff(RaExpr::ConstRel(one_rel), q_not_psi);
+
+  TautologyFoInstance out;
+  out.database = CDatabase(std::move(t));
+  out.certain_view = View::Ra({q_psi});
+  out.possible_view = View::Ra({q_not_psi});
+  out.pattern = {LocatedFact{0, Fact{1}}};
+  return out;
+}
+
+}  // namespace pw

@@ -1,0 +1,61 @@
+// The 3DNF-tautology reductions: Theorem 3.2(3) (uniqueness on a c-table),
+// Theorem 4.2(4) (containment of a view of tables in a table) and Theorems
+// 5.2(2)/5.3(2) (possibility/certainty of a first order query on a table).
+
+#ifndef PW_REDUCTIONS_TAUTOLOGY_H_
+#define PW_REDUCTIONS_TAUTOLOGY_H_
+
+#include "core/instance.h"
+#include "decision/view.h"
+#include "reductions/colorability.h"
+#include "solvers/cnf.h"
+#include "tables/ctable.h"
+
+namespace pw {
+
+/// Theorem 3.2(3): c-table T0 with unary rows t(i) = (1) whose local
+/// condition encodes clause i (u_j = 1 for literal x_j, u_j != 1 for
+/// literal -x_j), I = {(1)}. H is a tautology iff rep(T0) == {I}.
+UniquenessInstance TautologyToCTableUniqueness(const ClausalFormula& dnf);
+
+/// A generated CONT instance: is lhs_view(rep(lhs)) contained in
+/// rhs_view(rep(rhs))?
+struct ContainmentInstance {
+  CDatabase lhs;
+  View lhs_view = View::Identity();
+  CDatabase rhs;
+  View rhs_view = View::Identity();
+};
+
+/// Theorem 4.2(4): tables T0 = (R0 over clause/variable/polarity triples,
+/// S0 = {(j, u_j)}), positive existential query q0, and unary table
+/// T = {z_1 ... z_p}: H is a tautology iff q0(rep(T0)) subseteq rep(T).
+ContainmentInstance TautologyToViewInTableContainment(
+    const ClausalFormula& dnf);
+
+/// A generated POSS/CERT instance over located facts.
+struct FactQueryInstance {
+  CDatabase database;
+  View view = View::Identity();
+  std::vector<LocatedFact> pattern;
+};
+
+/// Theorems 5.2(2) and 5.3(2): table T over rows (clause, z_{clause,pos},
+/// var, polarity) and the first order query q' = { (1) | psi } where psi
+/// says "sigma(T) does not encode a truth assignment, or that assignment
+/// satisfies H". Then:
+///   - H is a tautology       iff  (1) is CERTAIN in q'(rep(T));
+///   - H is NOT a tautology   iff  (1) is POSSIBLE in (NOT psi)-query, i.e.
+///     the companion query NonTautologyWitnessQuery().
+struct TautologyFoInstance {
+  CDatabase database;
+  View certain_view;   // q'  (for CERT: tautology iff certain)
+  View possible_view;  // q with NOT psi (for POSS: non-tautology iff possible)
+  std::vector<LocatedFact> pattern;  // { (1) in output relation 0 }
+};
+
+TautologyFoInstance TautologyToFirstOrderCertainty(const ClausalFormula& dnf);
+
+}  // namespace pw
+
+#endif  // PW_REDUCTIONS_TAUTOLOGY_H_

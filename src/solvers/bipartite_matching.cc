@@ -1,0 +1,75 @@
+#include "solvers/bipartite_matching.h"
+
+#include <limits>
+#include <queue>
+
+namespace pw {
+
+namespace {
+
+constexpr int kInf = std::numeric_limits<int>::max();
+
+/// Hopcroft–Karp BFS phase: layers left nodes by shortest alternating path
+/// from a free left node. Returns true if some free right node is reachable.
+bool Bfs(const BipartiteGraph& g, const std::vector<int>& match_left,
+         const std::vector<int>& match_right, std::vector<int>& dist) {
+  std::queue<int> q;
+  for (int l = 0; l < g.num_left(); ++l) {
+    if (match_left[l] == -1) {
+      dist[l] = 0;
+      q.push(l);
+    } else {
+      dist[l] = kInf;
+    }
+  }
+  bool found = false;
+  while (!q.empty()) {
+    int l = q.front();
+    q.pop();
+    for (int r : g.Neighbors(l)) {
+      int next = match_right[r];
+      if (next == -1) {
+        found = true;
+      } else if (dist[next] == kInf) {
+        dist[next] = dist[l] + 1;
+        q.push(next);
+      }
+    }
+  }
+  return found;
+}
+
+bool Dfs(const BipartiteGraph& g, int l, std::vector<int>& match_left,
+         std::vector<int>& match_right, std::vector<int>& dist) {
+  for (int r : g.Neighbors(l)) {
+    int next = match_right[r];
+    if (next == -1 || (dist[next] == dist[l] + 1 &&
+                       Dfs(g, next, match_left, match_right, dist))) {
+      match_left[l] = r;
+      match_right[r] = l;
+      return true;
+    }
+  }
+  dist[l] = kInf;
+  return false;
+}
+
+}  // namespace
+
+MatchingResult MaxBipartiteMatching(const BipartiteGraph& graph) {
+  MatchingResult result;
+  result.match_left.assign(graph.num_left(), -1);
+  result.match_right.assign(graph.num_right(), -1);
+  std::vector<int> dist(graph.num_left());
+  while (Bfs(graph, result.match_left, result.match_right, dist)) {
+    for (int l = 0; l < graph.num_left(); ++l) {
+      if (result.match_left[l] == -1 &&
+          Dfs(graph, l, result.match_left, result.match_right, dist)) {
+        ++result.size;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace pw

@@ -1,0 +1,46 @@
+// Maximum cardinality bipartite matching (Hopcroft–Karp).
+//
+// This is the substrate of the PTIME membership algorithm for Codd-tables
+// (Theorem 3.1(1)) and of the PTIME unbounded-possibility algorithm
+// (Theorem 5.1(1)).
+
+#ifndef PW_SOLVERS_BIPARTITE_MATCHING_H_
+#define PW_SOLVERS_BIPARTITE_MATCHING_H_
+
+#include <vector>
+
+namespace pw {
+
+/// A bipartite graph with `num_left` left nodes and `num_right` right nodes.
+class BipartiteGraph {
+ public:
+  BipartiteGraph(int num_left, int num_right)
+      : num_right_(num_right), adj_(num_left) {}
+
+  void AddEdge(int left, int right) { adj_[left].push_back(right); }
+
+  int num_left() const { return static_cast<int>(adj_.size()); }
+  int num_right() const { return num_right_; }
+  const std::vector<int>& Neighbors(int left) const { return adj_[left]; }
+
+ private:
+  int num_right_;
+  std::vector<std::vector<int>> adj_;
+};
+
+/// Result of a maximum matching computation.
+struct MatchingResult {
+  /// Number of matched pairs.
+  int size = 0;
+  /// match_left[l] = matched right node or -1.
+  std::vector<int> match_left;
+  /// match_right[r] = matched left node or -1.
+  std::vector<int> match_right;
+};
+
+/// Computes a maximum-cardinality matching in O(E * sqrt(V)).
+MatchingResult MaxBipartiteMatching(const BipartiteGraph& graph);
+
+}  // namespace pw
+
+#endif  // PW_SOLVERS_BIPARTITE_MATCHING_H_

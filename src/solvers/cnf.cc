@@ -1,0 +1,80 @@
+#include "solvers/cnf.h"
+
+namespace pw {
+
+bool ClausalFormula::IsThree() const {
+  for (const Clause& c : clauses) {
+    if (c.size() != 3) return false;
+  }
+  return true;
+}
+
+bool ClausalFormula::EvalCnf(const std::vector<bool>& assignment) const {
+  for (const Clause& c : clauses) {
+    bool sat = false;
+    for (const Literal& lit : c) {
+      if (assignment[lit.var] != lit.negated) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+bool ClausalFormula::EvalDnf(const std::vector<bool>& assignment) const {
+  for (const Clause& c : clauses) {
+    bool sat = true;
+    for (const Literal& lit : c) {
+      if (assignment[lit.var] == lit.negated) {
+        sat = false;
+        break;
+      }
+    }
+    if (sat) return true;
+  }
+  return false;
+}
+
+std::string ClausalFormula::ToString(bool as_cnf) const {
+  std::string inner = as_cnf ? " v " : " ^ ";
+  std::string outer = as_cnf ? " ^ " : " v ";
+  std::string out;
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    if (i > 0) out += outer;
+    out += "(";
+    for (size_t j = 0; j < clauses[i].size(); ++j) {
+      if (j > 0) out += inner;
+      if (clauses[i][j].negated) out += "-";
+      out += "x" + std::to_string(clauses[i][j].var + 1);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+ClausalFormula PaperFig5Cnf() {
+  // Variables x1..x5 are 0..4 here.
+  ClausalFormula f;
+  f.num_vars = 5;
+  f.clauses = {
+      {Literal::Pos(0), Literal::Pos(1), Literal::Pos(2)},
+      {Literal::Pos(0), Literal::Neg(1), Literal::Pos(3)},
+      {Literal::Pos(0), Literal::Pos(3), Literal::Pos(4)},
+      {Literal::Pos(1), Literal::Neg(0), Literal::Pos(4)},
+      {Literal::Neg(0), Literal::Neg(1), Literal::Neg(4)},
+  };
+  return f;
+}
+
+ClausalFormula PaperFig5Dnf() { return PaperFig5Cnf(); }
+
+ForallExistsCnf PaperFig5ForallExists() {
+  ForallExistsCnf fe;
+  fe.num_forall = 2;  // X = {x1, x2}
+  fe.formula = PaperFig5Cnf();
+  return fe;
+}
+
+}  // namespace pw

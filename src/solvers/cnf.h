@@ -1,0 +1,66 @@
+// Propositional formulas in clausal form: CNF, DNF, and the
+// forall-exists 3CNF instances of Stockmeyer's Pi-2-p-complete problem.
+
+#ifndef PW_SOLVERS_CNF_H_
+#define PW_SOLVERS_CNF_H_
+
+#include <string>
+#include <vector>
+
+namespace pw {
+
+/// A literal: variable index (0-based) plus sign.
+struct Literal {
+  int var = 0;
+  bool negated = false;
+
+  static Literal Pos(int v) { return {v, false}; }
+  static Literal Neg(int v) { return {v, true}; }
+
+  friend bool operator==(const Literal&, const Literal&) = default;
+};
+
+/// A clause: for CNF a disjunction of literals, for DNF a conjunction.
+using Clause = std::vector<Literal>;
+
+/// A formula in clausal form over variables [0, num_vars).
+struct ClausalFormula {
+  int num_vars = 0;
+  std::vector<Clause> clauses;
+
+  /// True iff every clause has exactly 3 literals.
+  bool IsThree() const;
+
+  /// Evaluates as CNF (AND of ORs) under `assignment`.
+  bool EvalCnf(const std::vector<bool>& assignment) const;
+
+  /// Evaluates as DNF (OR of ANDs) under `assignment`.
+  bool EvalDnf(const std::vector<bool>& assignment) const;
+
+  std::string ToString(bool as_cnf) const;
+};
+
+/// A forall-exists CNF instance: variables [0, num_forall) are universally
+/// quantified (the paper's X), variables [num_forall, num_vars) are
+/// existentially quantified (the paper's Y). The question (Pi-2-p-complete
+/// for 3CNF, Stockmeyer 1976): for every assignment of X, is there an
+/// assignment of Y making the CNF true?
+struct ForallExistsCnf {
+  int num_forall = 0;
+  ClausalFormula formula;
+};
+
+/// The running example of Fig. 5 read as 3CNF:
+///   c1 = x1 v x2 v x3,   c2 = x1 v -x2 v x4,  c3 = x1 v x4 v x5,
+///   c4 = x2 v -x1 v x5,  c5 = -x1 v -x2 v -x5      (variables 0-based).
+ClausalFormula PaperFig5Cnf();
+
+/// The same clause matrix read as 3DNF (ORs of the ANDed clauses of Fig. 5).
+ClausalFormula PaperFig5Dnf();
+
+/// Fig. 5's forall-exists split: X = {x1, x2}, Y = {x3, x4, x5}.
+ForallExistsCnf PaperFig5ForallExists();
+
+}  // namespace pw
+
+#endif  // PW_SOLVERS_CNF_H_

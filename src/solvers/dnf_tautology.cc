@@ -1,0 +1,37 @@
+#include "solvers/dnf_tautology.h"
+
+#include "solvers/sat.h"
+
+namespace pw {
+
+namespace {
+/// The complement of a DNF is the CNF with every literal negated:
+/// NOT (OR_i AND_j l_ij)  ==  AND_i OR_j NOT l_ij.
+ClausalFormula ComplementCnf(const ClausalFormula& dnf) {
+  ClausalFormula cnf;
+  cnf.num_vars = dnf.num_vars;
+  cnf.clauses.reserve(dnf.clauses.size());
+  for (const Clause& c : dnf.clauses) {
+    Clause neg;
+    neg.reserve(c.size());
+    for (const Literal& lit : c) neg.push_back({lit.var, !lit.negated});
+    cnf.clauses.push_back(std::move(neg));
+  }
+  return cnf;
+}
+}  // namespace
+
+bool IsDnfTautology(const ClausalFormula& formula) {
+  if (formula.clauses.empty()) return false;
+  return !IsSatisfiable(ComplementCnf(formula));
+}
+
+std::optional<std::vector<bool>> FindDnfCounterexample(
+    const ClausalFormula& formula) {
+  if (formula.clauses.empty()) {
+    return std::vector<bool>(formula.num_vars, false);
+  }
+  return SolveSat(ComplementCnf(formula));
+}
+
+}  // namespace pw

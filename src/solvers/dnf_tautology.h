@@ -1,0 +1,25 @@
+// 3DNF tautology — the coNP-complete problem behind Theorems 3.2(3,4),
+// 4.2(4) and 5.3(2).
+
+#ifndef PW_SOLVERS_DNF_TAUTOLOGY_H_
+#define PW_SOLVERS_DNF_TAUTOLOGY_H_
+
+#include <optional>
+#include <vector>
+
+#include "solvers/cnf.h"
+
+namespace pw {
+
+/// Decides whether the DNF `formula` (OR of ANDed clauses) is a tautology.
+/// Implemented as UNSAT of the complementary CNF (negate every literal and
+/// read the clause matrix as CNF), decided by DPLL.
+bool IsDnfTautology(const ClausalFormula& formula);
+
+/// If the DNF is not a tautology, returns a falsifying assignment.
+std::optional<std::vector<bool>> FindDnfCounterexample(
+    const ClausalFormula& formula);
+
+}  // namespace pw
+
+#endif  // PW_SOLVERS_DNF_TAUTOLOGY_H_

@@ -1,0 +1,37 @@
+#include "solvers/graph.h"
+
+namespace pw {
+
+void Graph::AddEdge(int a, int b) { edges_.emplace_back(a, b); }
+
+std::vector<std::vector<int>> Graph::AdjacencyLists() const {
+  std::vector<std::vector<int>> adj(num_nodes_);
+  for (const auto& [a, b] : edges_) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  return adj;
+}
+
+Graph Graph::PaperFig4a() {
+  Graph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 0);
+  g.AddEdge(2, 4);
+  return g;
+}
+
+std::string Graph::ToString() const {
+  std::string out =
+      "graph(" + std::to_string(num_nodes_) + " nodes): ";
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(edges_[i].first) + "-" +
+           std::to_string(edges_[i].second);
+  }
+  return out;
+}
+
+}  // namespace pw

@@ -1,0 +1,42 @@
+// Simple undirected graphs used by the 3-colorability reductions.
+
+#ifndef PW_SOLVERS_GRAPH_H_
+#define PW_SOLVERS_GRAPH_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pw {
+
+/// An undirected graph on nodes [0, num_nodes). Edges are stored once with
+/// an arbitrary orientation (a, b), matching the paper's "pick an arbitrary
+/// orientation of the edges" convention in the reductions.
+class Graph {
+ public:
+  explicit Graph(int num_nodes = 0) : num_nodes_(num_nodes) {}
+
+  int num_nodes() const { return num_nodes_; }
+  size_t num_edges() const { return edges_.size(); }
+  const std::vector<std::pair<int, int>>& edges() const { return edges_; }
+
+  /// Adds edge {a, b}. Self-loops and duplicates are the caller's concern.
+  void AddEdge(int a, int b);
+
+  /// Adjacency lists (both directions).
+  std::vector<std::vector<int>> AdjacencyLists() const;
+
+  /// The example graph of Fig. 4(a): nodes 1..5 (we use 0..4), edges
+  /// 1-2, 2-3, 3-4, 4-1, 3-5.
+  static Graph PaperFig4a();
+
+  std::string ToString() const;
+
+ private:
+  int num_nodes_;
+  std::vector<std::pair<int, int>> edges_;
+};
+
+}  // namespace pw
+
+#endif  // PW_SOLVERS_GRAPH_H_

@@ -1,0 +1,53 @@
+#include "solvers/graph_color.h"
+
+#include <algorithm>
+
+namespace pw {
+
+namespace {
+
+bool Backtrack(const std::vector<std::vector<int>>& adj,
+               const std::vector<int>& order, size_t pos, int k,
+               std::vector<int>& colors) {
+  if (pos == order.size()) return true;
+  int node = order[pos];
+  for (int c = 0; c < k; ++c) {
+    bool ok = true;
+    for (int nb : adj[node]) {
+      if (colors[nb] == c) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    colors[node] = c;
+    if (Backtrack(adj, order, pos + 1, k, colors)) return true;
+    colors[node] = -1;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::vector<int>> ColorGraph(const Graph& graph, int k) {
+  auto adj = graph.AdjacencyLists();
+  // Self-loops are never colorable (for k >= 1 the node conflicts with
+  // itself).
+  for (const auto& [a, b] : graph.edges()) {
+    if (a == b) return std::nullopt;
+  }
+  std::vector<int> order(graph.num_nodes());
+  for (int i = 0; i < graph.num_nodes(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&adj](int a, int b) {
+    return adj[a].size() > adj[b].size();
+  });
+  std::vector<int> colors(graph.num_nodes(), -1);
+  if (!Backtrack(adj, order, 0, k, colors)) return std::nullopt;
+  return colors;
+}
+
+bool IsThreeColorable(const Graph& graph) {
+  return ColorGraph(graph, 3).has_value();
+}
+
+}  // namespace pw

@@ -1,0 +1,23 @@
+// Graph k-colorability by backtracking — reference oracle for the
+// 3-colorability reductions of Theorem 3.1.
+
+#ifndef PW_SOLVERS_GRAPH_COLOR_H_
+#define PW_SOLVERS_GRAPH_COLOR_H_
+
+#include <optional>
+#include <vector>
+
+#include "solvers/graph.h"
+
+namespace pw {
+
+/// Returns a proper coloring with colors [0, k), or std::nullopt if none
+/// exists. Backtracking with most-constrained-first ordering.
+std::optional<std::vector<int>> ColorGraph(const Graph& graph, int k);
+
+/// Convenience: 3-colorability.
+bool IsThreeColorable(const Graph& graph);
+
+}  // namespace pw
+
+#endif  // PW_SOLVERS_GRAPH_COLOR_H_

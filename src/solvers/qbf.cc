@@ -1,0 +1,55 @@
+#include "solvers/qbf.h"
+
+#include "solvers/sat.h"
+
+namespace pw {
+
+namespace {
+
+/// Restricts `formula` by the assignment of universal variables [0, nx):
+/// drops satisfied clauses, removes falsified literals. Variables keep their
+/// indices (universal variables no longer occur).
+std::optional<ClausalFormula> Restrict(const ClausalFormula& formula, int nx,
+                                       const std::vector<bool>& x) {
+  ClausalFormula out;
+  out.num_vars = formula.num_vars;
+  for (const Clause& c : formula.clauses) {
+    Clause kept;
+    bool sat = false;
+    for (const Literal& lit : c) {
+      if (lit.var < nx) {
+        if (x[lit.var] != lit.negated) {
+          sat = true;
+          break;
+        }
+        // falsified literal: drop
+      } else {
+        kept.push_back(lit);
+      }
+    }
+    if (sat) continue;
+    if (kept.empty()) return std::nullopt;  // clause falsified outright
+    out.clauses.push_back(std::move(kept));
+  }
+  return out;
+}
+
+}  // namespace
+
+bool SolveForallExists(const ForallExistsCnf& instance) {
+  return !FindForallCounterexample(instance).has_value();
+}
+
+std::optional<std::vector<bool>> FindForallCounterexample(
+    const ForallExistsCnf& instance) {
+  int nx = instance.num_forall;
+  std::vector<bool> x(nx, false);
+  for (uint64_t mask = 0; mask < (uint64_t{1} << nx); ++mask) {
+    for (int i = 0; i < nx; ++i) x[i] = (mask >> i) & 1;
+    auto restricted = Restrict(instance.formula, nx, x);
+    if (!restricted || !IsSatisfiable(*restricted)) return x;
+  }
+  return std::nullopt;
+}
+
+}  // namespace pw

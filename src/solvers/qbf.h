@@ -1,0 +1,27 @@
+// The forall-exists 3CNF problem (Stockmeyer): Pi-2-p-complete reference
+// oracle for the containment lower bounds of Theorem 4.2.
+
+#ifndef PW_SOLVERS_QBF_H_
+#define PW_SOLVERS_QBF_H_
+
+#include <optional>
+#include <vector>
+
+#include "solvers/cnf.h"
+
+namespace pw {
+
+/// Decides: for every assignment of the universal variables, is there an
+/// assignment of the existential variables satisfying the CNF?
+/// Enumerates the 2^|X| universal assignments and calls DPLL on each
+/// restricted formula.
+bool SolveForallExists(const ForallExistsCnf& instance);
+
+/// If the instance is false, returns a universal assignment with no
+/// satisfying existential extension.
+std::optional<std::vector<bool>> FindForallCounterexample(
+    const ForallExistsCnf& instance);
+
+}  // namespace pw
+
+#endif  // PW_SOLVERS_QBF_H_

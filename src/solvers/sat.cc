@@ -1,0 +1,95 @@
+#include "solvers/sat.h"
+
+namespace pw {
+
+namespace {
+
+enum class Value : int8_t { kUnset, kTrue, kFalse };
+
+struct SatState {
+  const ClausalFormula* formula;
+  std::vector<Value> values;
+};
+
+bool LitTrue(const Literal& lit, const std::vector<Value>& values) {
+  return values[lit.var] == (lit.negated ? Value::kFalse : Value::kTrue);
+}
+
+bool LitFalse(const Literal& lit, const std::vector<Value>& values) {
+  return values[lit.var] == (lit.negated ? Value::kTrue : Value::kFalse);
+}
+
+/// Unit propagation to fixpoint. Returns false on conflict. Appends every
+/// assignment made to `trail`.
+bool Propagate(SatState& state, std::vector<int>& trail) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Clause& clause : state.formula->clauses) {
+      int unset_count = 0;
+      const Literal* unit = nullptr;
+      bool sat = false;
+      for (const Literal& lit : clause) {
+        if (LitTrue(lit, state.values)) {
+          sat = true;
+          break;
+        }
+        if (!LitFalse(lit, state.values)) {
+          ++unset_count;
+          unit = &lit;
+        }
+      }
+      if (sat) continue;
+      if (unset_count == 0) return false;  // conflict
+      if (unset_count == 1) {
+        state.values[unit->var] = unit->negated ? Value::kFalse : Value::kTrue;
+        trail.push_back(unit->var);
+        changed = true;
+      }
+    }
+  }
+  return true;
+}
+
+bool Dpll(SatState& state) {
+  std::vector<int> trail;
+  if (!Propagate(state, trail)) {
+    for (int v : trail) state.values[v] = Value::kUnset;
+    return false;
+  }
+  int branch = -1;
+  for (size_t v = 0; v < state.values.size(); ++v) {
+    if (state.values[v] == Value::kUnset) {
+      branch = static_cast<int>(v);
+      break;
+    }
+  }
+  if (branch == -1) return true;  // all assigned, no conflict
+  for (Value val : {Value::kTrue, Value::kFalse}) {
+    state.values[branch] = val;
+    if (Dpll(state)) return true;
+    state.values[branch] = Value::kUnset;
+  }
+  for (int v : trail) state.values[v] = Value::kUnset;
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::vector<bool>> SolveSat(const ClausalFormula& formula) {
+  SatState state;
+  state.formula = &formula;
+  state.values.assign(formula.num_vars, Value::kUnset);
+  if (!Dpll(state)) return std::nullopt;
+  std::vector<bool> assignment(formula.num_vars, false);
+  for (int v = 0; v < formula.num_vars; ++v) {
+    assignment[v] = state.values[v] == Value::kTrue;
+  }
+  return assignment;
+}
+
+bool IsSatisfiable(const ClausalFormula& formula) {
+  return SolveSat(formula).has_value();
+}
+
+}  // namespace pw

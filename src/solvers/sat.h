@@ -1,0 +1,24 @@
+// CNF satisfiability via DPLL with unit propagation and pure-literal
+// elimination. Reference oracle for the NP-hardness reductions
+// (Theorems 3.1, 5.1, 5.2).
+
+#ifndef PW_SOLVERS_SAT_H_
+#define PW_SOLVERS_SAT_H_
+
+#include <optional>
+#include <vector>
+
+#include "solvers/cnf.h"
+
+namespace pw {
+
+/// Returns a satisfying assignment of the CNF `formula`, or std::nullopt if
+/// unsatisfiable.
+std::optional<std::vector<bool>> SolveSat(const ClausalFormula& formula);
+
+/// Convenience: satisfiability only.
+bool IsSatisfiable(const ClausalFormula& formula);
+
+}  // namespace pw
+
+#endif  // PW_SOLVERS_SAT_H_

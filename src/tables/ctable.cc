@@ -1,0 +1,288 @@
+#include "tables/ctable.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "core/instance.h"
+#include "core/symbol_table.h"
+
+namespace pw {
+
+std::string ToString(TableKind kind) {
+  switch (kind) {
+    case TableKind::kCoddTable:
+      return "Codd-table";
+    case TableKind::kETable:
+      return "e-table";
+    case TableKind::kITable:
+      return "i-table";
+    case TableKind::kGTable:
+      return "g-table";
+    case TableKind::kCTable:
+      return "c-table";
+  }
+  return "?";
+}
+
+void CTable::AddRow(Tuple tuple) {
+  assert(static_cast<int>(tuple.size()) == arity_);
+  rows_.push_back(CRow{std::move(tuple), Conjunction()});
+}
+
+void CTable::AddRow(Tuple tuple, Conjunction local) {
+  assert(static_cast<int>(tuple.size()) == arity_);
+  rows_.push_back(CRow{std::move(tuple), std::move(local)});
+}
+
+CTable CTable::FromRelation(const Relation& relation) {
+  CTable out(relation.arity());
+  for (const Fact& f : relation) out.AddRow(ToTuple(f));
+  return out;
+}
+
+TableKind CTable::Kind() const {
+  bool has_local = false;
+  for (const CRow& row : rows_) {
+    if (!row.local.IsTautology()) {
+      has_local = true;
+      break;
+    }
+  }
+  if (has_local) return TableKind::kCTable;
+
+  bool has_eq = false;
+  bool has_neq = false;
+  for (const CondAtom& a : global_.atoms()) {
+    if (IsTriviallyTrue(a)) continue;
+    (a.is_equality ? has_eq : has_neq) = true;
+  }
+
+  bool repeats = false;
+  std::set<VarId> seen;
+  for (const CRow& row : rows_) {
+    for (const Term& t : row.tuple) {
+      if (t.is_variable() && !seen.insert(t.variable()).second) {
+        repeats = true;
+      }
+    }
+  }
+
+  if (has_eq) return TableKind::kGTable;
+  if (has_neq) return repeats ? TableKind::kGTable : TableKind::kITable;
+  if (repeats) return TableKind::kETable;
+  return TableKind::kCoddTable;
+}
+
+std::vector<VarId> CTable::Variables() const {
+  std::set<VarId> seen;
+  for (const CRow& row : rows_) {
+    for (const Term& t : row.tuple) {
+      if (t.is_variable()) seen.insert(t.variable());
+    }
+    for (VarId v : row.local.Variables()) seen.insert(v);
+  }
+  for (VarId v : global_.Variables()) seen.insert(v);
+  return {seen.begin(), seen.end()};
+}
+
+std::vector<ConstId> CTable::Constants() const {
+  std::set<ConstId> seen;
+  for (const CRow& row : rows_) {
+    for (const Term& t : row.tuple) {
+      if (t.is_constant()) seen.insert(t.constant());
+    }
+    for (ConstId c : row.local.Constants()) seen.insert(c);
+  }
+  for (ConstId c : global_.Constants()) seen.insert(c);
+  return {seen.begin(), seen.end()};
+}
+
+bool CTable::IsGround() const { return Variables().empty(); }
+
+std::vector<Tuple> CTable::Matrix() const {
+  std::vector<Tuple> out;
+  out.reserve(rows_.size());
+  for (const CRow& row : rows_) out.push_back(row.tuple);
+  return out;
+}
+
+CTable CTable::Substitute(
+    const std::unordered_map<VarId, Term>& substitution) const {
+  auto apply = [&substitution](Term t) {
+    if (t.is_variable()) {
+      auto it = substitution.find(t.variable());
+      if (it != substitution.end()) return it->second;
+    }
+    return t;
+  };
+  CTable out(arity_);
+  for (const CRow& row : rows_) {
+    Tuple tuple;
+    tuple.reserve(row.tuple.size());
+    for (const Term& t : row.tuple) tuple.push_back(apply(t));
+    out.AddRow(std::move(tuple), row.local.Substitute(substitution));
+  }
+  out.SetGlobal(global_.Substitute(substitution));
+  return out;
+}
+
+CTable CTable::Normalized() const {
+  if (!global_.Satisfiable()) {
+    CTable out(arity_);
+    out.SetGlobal(Conjunction{FalseAtom()});
+    return out;
+  }
+  CTable out = Substitute(global_.CanonicalSubstitution());
+  Conjunction global = out.global().Simplified();
+  out.SetGlobal(std::move(global));
+  std::vector<CRow> rows;
+  for (CRow& row : out.rows_) {
+    rows.push_back(CRow{std::move(row.tuple), row.local.Simplified()});
+  }
+  out.rows_ = std::move(rows);
+  return out;
+}
+
+CTable CTable::Minimized() const {
+  CTable normalized = Normalized();
+  if (!normalized.global().Satisfiable()) return normalized;
+
+  // Drop local atoms implied by the global condition; drop rows whose local
+  // condition is inconsistent with it.
+  std::vector<CRow> kept;
+  for (const CRow& row : normalized.rows()) {
+    Conjunction combined = Conjunction::And(normalized.global(), row.local);
+    if (!combined.Satisfiable()) continue;
+    Conjunction simplified = row.local.Simplified();
+    Conjunction local;
+    for (const CondAtom& atom : simplified.atoms()) {
+      if (!normalized.global().Implies(atom)) local.Add(atom);
+    }
+    kept.push_back(CRow{row.tuple, std::move(local)});
+  }
+
+  // Row subsumption: (t, phi) is redundant if another kept row (t, psi) has
+  // phi implies psi (the subsumer is "on" whenever the subsumed is).
+  std::vector<bool> dead(kept.size(), false);
+  for (size_t i = 0; i < kept.size(); ++i) {
+    if (dead[i]) continue;
+    for (size_t j = 0; j < kept.size(); ++j) {
+      if (i == j || dead[j] || kept[i].tuple != kept[j].tuple) continue;
+      Conjunction phi_i =
+          Conjunction::And(normalized.global(), kept[i].local);
+      bool subsumed = true;
+      for (const CondAtom& atom : kept[j].local.atoms()) {
+        if (!phi_i.Implies(atom)) {
+          subsumed = false;
+          break;
+        }
+      }
+      // Tie-break identical rows by index to keep exactly one.
+      if (subsumed && (kept[i].local != kept[j].local || j < i)) {
+        dead[i] = true;
+        break;
+      }
+    }
+  }
+
+  CTable out(arity());
+  out.SetGlobal(normalized.global());
+  for (size_t i = 0; i < kept.size(); ++i) {
+    if (!dead[i]) out.AddRow(kept[i].tuple, kept[i].local);
+  }
+  return out;
+}
+
+std::string CTable::ToString(const SymbolTable* symbols) const {
+  std::string out;
+  if (!global_.IsTautology()) {
+    out += "[ " + global_.ToString(symbols) + " ]\n";
+  }
+  for (const CRow& row : rows_) {
+    out += pw::ToString(row.tuple, symbols);
+    if (!row.local.IsTautology()) {
+      out += "  :: " + row.local.ToString(symbols);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+size_t CDatabase::AddTable(CTable table) {
+  tables_.push_back(std::move(table));
+  return tables_.size() - 1;
+}
+
+Conjunction CDatabase::CombinedGlobal() const {
+  Conjunction out;
+  for (const CTable& t : tables_) out.AddAll(t.global());
+  return out;
+}
+
+std::vector<VarId> CDatabase::Variables() const {
+  std::set<VarId> seen;
+  for (const CTable& t : tables_) {
+    for (VarId v : t.Variables()) seen.insert(v);
+  }
+  return {seen.begin(), seen.end()};
+}
+
+std::vector<ConstId> CDatabase::Constants() const {
+  std::set<ConstId> seen;
+  for (const CTable& t : tables_) {
+    for (ConstId c : t.Constants()) seen.insert(c);
+  }
+  return {seen.begin(), seen.end()};
+}
+
+std::vector<int> CDatabase::Arities() const {
+  std::vector<int> out;
+  out.reserve(tables_.size());
+  for (const CTable& t : tables_) out.push_back(t.arity());
+  return out;
+}
+
+TableKind CDatabase::Kind() const {
+  TableKind worst = TableKind::kCoddTable;
+  for (const CTable& t : tables_) worst = std::max(worst, t.Kind());
+  if (worst < TableKind::kETable && tables_.size() > 1) {
+    // A variable shared between tuples of two member tables acts like an
+    // incorporated equality, so the database is at least an e-table database.
+    std::set<VarId> seen;
+    for (const CTable& t : tables_) {
+      std::set<VarId> mine;
+      for (const CRow& row : t.rows()) {
+        for (const Term& term : row.tuple) {
+          if (term.is_variable()) mine.insert(term.variable());
+        }
+      }
+      for (VarId v : mine) {
+        if (!seen.insert(v).second) {
+          worst = std::max(worst, TableKind::kETable);
+        }
+      }
+    }
+  }
+  return worst;
+}
+
+CDatabase CDatabase::FromInstance(const Instance& instance) {
+  CDatabase out;
+  for (size_t i = 0; i < instance.num_relations(); ++i) {
+    out.AddTable(CTable::FromRelation(instance.relation(i)));
+  }
+  return out;
+}
+
+std::string CDatabase::ToString(const SymbolTable* symbols) const {
+  std::string out;
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    out += "T" + std::to_string(i) + " (arity " +
+           std::to_string(tables_[i].arity()) + "):\n";
+    out += tables_[i].ToString(symbols);
+  }
+  return out;
+}
+
+}  // namespace pw

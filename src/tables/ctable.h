@@ -1,0 +1,168 @@
+// Conditioned tables — the paper's representation hierarchy.
+//
+// A c-table (Section 2.2) is a table of tuples over constants and variables,
+// a *global* condition (a conjunction attached to the whole table) and a
+// *local* condition per row. The other representations are special cases:
+//
+//   Codd-table : no conditions, every variable occurs at most once
+//   e-table    : no conditions, variables may repeat (equalities incorporated)
+//   i-table    : global condition of inequality atoms only, no repeats
+//   g-table    : arbitrary global conjunction (equalities are incorporated
+//                into the matrix on normalization), no local conditions
+//   c-table    : everything
+//
+// `CTable::Kind()` classifies an arbitrary c-table into the *least* class of
+// this hierarchy that contains it.
+
+#ifndef PW_TABLES_CTABLE_H_
+#define PW_TABLES_CTABLE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "condition/conjunction.h"
+#include "core/relation.h"
+#include "core/tuple.h"
+
+namespace pw {
+
+class Instance;
+class SymbolTable;
+
+/// The representation hierarchy, ordered by expressiveness.
+enum class TableKind {
+  kCoddTable = 0,
+  kETable = 1,
+  kITable = 2,
+  kGTable = 3,
+  kCTable = 4,
+};
+
+/// Human-readable kind name ("Codd-table", "e-table", ...).
+std::string ToString(TableKind kind);
+
+/// One row of a c-table: a tuple plus its local condition.
+struct CRow {
+  Tuple tuple;
+  Conjunction local;  // default: true
+
+  friend bool operator==(const CRow&, const CRow&) = default;
+};
+
+/// A conditioned table of fixed arity.
+class CTable {
+ public:
+  explicit CTable(int arity = 0) : arity_(arity) {}
+
+  int arity() const { return arity_; }
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<CRow>& rows() const { return rows_; }
+  const CRow& row(size_t i) const { return rows_[i]; }
+  const Conjunction& global() const { return global_; }
+
+  /// Appends a row with local condition `true`.
+  void AddRow(Tuple tuple);
+
+  /// Appends a conditioned row.
+  void AddRow(Tuple tuple, Conjunction local);
+
+  /// Replaces the global condition.
+  void SetGlobal(Conjunction global) { global_ = std::move(global); }
+
+  /// Conjoins `atom` onto the global condition.
+  void AddGlobalAtom(const CondAtom& atom) { global_.Add(atom); }
+
+  /// Builds a table whose rows are the facts of `relation` (a complete
+  /// relation is the degenerate c-table with no variables).
+  static CTable FromRelation(const Relation& relation);
+
+  /// Least class of the hierarchy containing this table.
+  TableKind Kind() const;
+
+  /// All variables occurring in tuples or conditions, sorted, deduplicated.
+  std::vector<VarId> Variables() const;
+
+  /// All constants occurring in tuples or conditions, sorted, deduplicated.
+  std::vector<ConstId> Constants() const;
+
+  /// True iff no variable occurs (then rep() is a singleton if the global
+  /// condition is a tautology over ground atoms).
+  bool IsGround() const;
+
+  /// The matrix: rows stripped of their conditions, as tuples.
+  std::vector<Tuple> Matrix() const;
+
+  /// Applies a variable-to-term substitution to every tuple and condition.
+  CTable Substitute(const std::unordered_map<VarId, Term>& substitution) const;
+
+  /// Normal form: incorporates every equality the global condition forces
+  /// into the matrix (substituting canonical representatives), drops
+  /// trivially-true atoms, and keeps the remaining global inequalities.
+  /// Preserves rep(). If the global condition is unsatisfiable the result is
+  /// marked by a `false` global condition atom.
+  CTable Normalized() const;
+
+  /// Minimization on top of Normalized(): removes rows whose local
+  /// conditions are unsatisfiable together with the global condition, drops
+  /// local atoms implied by the global condition, and removes rows subsumed
+  /// by a duplicate with an implied-or-equal local condition. Preserves
+  /// rep().
+  CTable Minimized() const;
+
+  friend bool operator==(const CTable&, const CTable&) = default;
+
+  std::string ToString(const SymbolTable* symbols = nullptr) const;
+
+ private:
+  int arity_;
+  std::vector<CRow> rows_;
+  Conjunction global_;
+};
+
+/// An n-vector of c-tables (Definition 2.2 generalization). The paper takes
+/// the variable sets of member tables to be disjoint; we do not enforce this
+/// — shared variables simply behave as if linked by equality conditions.
+/// The represented set of worlds uses the conjunction of all members' global
+/// conditions.
+class CDatabase {
+ public:
+  CDatabase() = default;
+  explicit CDatabase(std::vector<CTable> tables) : tables_(std::move(tables)) {}
+
+  /// Wraps a single table.
+  explicit CDatabase(CTable table) { tables_.push_back(std::move(table)); }
+
+  size_t num_tables() const { return tables_.size(); }
+  const CTable& table(size_t i) const { return tables_[i]; }
+  CTable& mutable_table(size_t i) { return tables_[i]; }
+
+  size_t AddTable(CTable table);
+
+  /// The conjunction of all member global conditions.
+  Conjunction CombinedGlobal() const;
+
+  /// Union of member variable sets, sorted, deduplicated.
+  std::vector<VarId> Variables() const;
+
+  /// Union of member constant sets, sorted, deduplicated.
+  std::vector<ConstId> Constants() const;
+
+  /// Arities of member tables.
+  std::vector<int> Arities() const;
+
+  /// Worst member kind (the database is as expressive as its worst table).
+  TableKind Kind() const;
+
+  /// Builds the degenerate c-database representing exactly `instance`.
+  static CDatabase FromInstance(const Instance& instance);
+
+  std::string ToString(const SymbolTable* symbols = nullptr) const;
+
+ private:
+  std::vector<CTable> tables_;
+};
+
+}  // namespace pw
+
+#endif  // PW_TABLES_CTABLE_H_

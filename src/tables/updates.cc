@@ -1,0 +1,50 @@
+#include "tables/updates.h"
+
+#include <cassert>
+
+namespace pw {
+
+CTable InsertFact(const CTable& table, const Fact& fact) {
+  assert(static_cast<int>(fact.size()) == table.arity());
+  CTable out = table;
+  out.AddRow(ToTuple(fact));
+  return out;
+}
+
+CTable DeleteFact(const CTable& table, const Fact& fact) {
+  assert(static_cast<int>(fact.size()) == table.arity());
+  CTable out(table.arity());
+  out.SetGlobal(table.global());
+  for (const CRow& row : table.rows()) {
+    // If some position can never match the fact, the row can never equal
+    // it: keep it unchanged.
+    bool never_matches = false;
+    for (size_t i = 0; i < row.tuple.size() && !never_matches; ++i) {
+      never_matches = IsTriviallyTrue(Neq(row.tuple[i], Term::Const(fact[i])));
+    }
+    if (never_matches) {
+      out.AddRow(row.tuple, row.local);
+      continue;
+    }
+    // Otherwise emit one guarded copy per escapable position. A
+    // fully-ground row equal to the fact emits nothing: deleted everywhere.
+    for (size_t i = 0; i < row.tuple.size(); ++i) {
+      CondAtom differs = Neq(row.tuple[i], Term::Const(fact[i]));
+      if (IsTriviallyFalse(differs)) continue;
+      Conjunction local = row.local;
+      local.Add(differs);
+      out.AddRow(row.tuple, std::move(local));
+    }
+  }
+  return out;
+}
+
+CTable InsertFactIf(const CTable& table, const Fact& fact,
+                    const Conjunction& condition) {
+  assert(static_cast<int>(fact.size()) == table.arity());
+  CTable out = table;
+  out.AddRow(ToTuple(fact), condition);
+  return out;
+}
+
+}  // namespace pw

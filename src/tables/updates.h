@@ -1,0 +1,37 @@
+// Update operations on c-tables, after Abiteboul & Grahne, "Update
+// semantics for incomplete databases" (VLDB 1985) — reference [1] of the
+// paper.
+//
+// Updates act pointwise on the represented set of worlds:
+//
+//   rep(Insert(T, f)) = { I union {f}     : I in rep(T) }
+//   rep(Delete(T, f)) = { I minus {f}     : I in rep(T) }
+//
+// Insertion is a new unconditioned ground row. Deletion of fact f rewrites
+// each row (t, phi) into the rows (t, phi and t[i] != f[i]), one per
+// position — the row survives exactly in the worlds where it differs from
+// f somewhere. Conditions stay conjunctions, so the result remains a
+// c-table of the same class-or-higher.
+
+#ifndef PW_TABLES_UPDATES_H_
+#define PW_TABLES_UPDATES_H_
+
+#include "tables/ctable.h"
+
+namespace pw {
+
+/// The table representing { I union {fact} : I in rep(table) }.
+CTable InsertFact(const CTable& table, const Fact& fact);
+
+/// The table representing { I minus {fact} : I in rep(table) }. Row count
+/// grows at most by a factor of the arity.
+CTable DeleteFact(const CTable& table, const Fact& fact);
+
+/// Conditional insertion: the fact is present exactly in the worlds whose
+/// valuations satisfy `condition` (in addition to the global condition).
+CTable InsertFactIf(const CTable& table, const Fact& fact,
+                    const Conjunction& condition);
+
+}  // namespace pw
+
+#endif  // PW_TABLES_UPDATES_H_

@@ -1,0 +1,72 @@
+#include "tables/valuation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace pw {
+
+std::optional<ConstId> Valuation::Get(VarId var) const {
+  auto it = map_.find(var);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+ConstId Valuation::Apply(const Term& term) const {
+  if (term.is_constant()) return term.constant();
+  auto it = map_.find(term.variable());
+  assert(it != map_.end() && "valuation must be total on applied variables");
+  return it->second;
+}
+
+Fact Valuation::Apply(const Tuple& tuple) const {
+  Fact out;
+  out.reserve(tuple.size());
+  for (const Term& t : tuple) out.push_back(Apply(t));
+  return out;
+}
+
+bool Valuation::Satisfies(const CondAtom& atom) const {
+  ConstId l = Apply(atom.lhs);
+  ConstId r = Apply(atom.rhs);
+  return atom.is_equality ? (l == r) : (l != r);
+}
+
+bool Valuation::Satisfies(const Conjunction& conjunction) const {
+  for (const CondAtom& a : conjunction.atoms()) {
+    if (!Satisfies(a)) return false;
+  }
+  return true;
+}
+
+Relation Valuation::Apply(const CTable& table) const {
+  Relation out(table.arity());
+  for (const CRow& row : table.rows()) {
+    if (Satisfies(row.local)) out.Insert(Apply(row.tuple));
+  }
+  return out;
+}
+
+Instance Valuation::Apply(const CDatabase& database) const {
+  std::vector<Relation> relations;
+  relations.reserve(database.num_tables());
+  for (size_t i = 0; i < database.num_tables(); ++i) {
+    relations.push_back(Apply(database.table(i)));
+  }
+  return Instance(std::move(relations));
+}
+
+std::string Valuation::ToString() const {
+  std::vector<std::pair<VarId, ConstId>> entries(map_.begin(), map_.end());
+  std::sort(entries.begin(), entries.end());
+  std::string out = "{";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "x" + std::to_string(entries[i].first) + " -> " +
+           std::to_string(entries[i].second);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace pw

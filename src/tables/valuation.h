@@ -1,0 +1,61 @@
+// Valuations: functions from variables (and constants) to constants.
+
+#ifndef PW_TABLES_VALUATION_H_
+#define PW_TABLES_VALUATION_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "condition/conjunction.h"
+#include "core/instance.h"
+#include "core/tuple.h"
+#include "tables/ctable.h"
+
+namespace pw {
+
+/// A valuation sigma assigns a constant to every variable (and is the
+/// identity on constants). Instances of this class are finite maps; applying
+/// a valuation to an object containing an unmapped variable is a
+/// precondition violation (checked via assert in Apply*).
+class Valuation {
+ public:
+  Valuation() = default;
+  explicit Valuation(std::unordered_map<VarId, ConstId> map)
+      : map_(std::move(map)) {}
+
+  void Set(VarId var, ConstId value) { map_[var] = value; }
+
+  std::optional<ConstId> Get(VarId var) const;
+
+  size_t size() const { return map_.size(); }
+
+  /// sigma(t): the constant a term maps to.
+  ConstId Apply(const Term& term) const;
+
+  /// sigma(tuple): the fact the tuple maps to.
+  Fact Apply(const Tuple& tuple) const;
+
+  /// True iff the valuation satisfies the atom.
+  bool Satisfies(const CondAtom& atom) const;
+
+  /// True iff the valuation satisfies every atom of the conjunction.
+  bool Satisfies(const Conjunction& conjunction) const;
+
+  /// sigma(T): the relation containing sigma(t) for exactly those rows whose
+  /// local condition sigma satisfies (Definition 2.2). Note the global
+  /// condition is NOT consulted here; callers filter on it.
+  Relation Apply(const CTable& table) const;
+
+  /// sigma(DB): member-wise application.
+  Instance Apply(const CDatabase& database) const;
+
+  std::string ToString() const;
+
+ private:
+  std::unordered_map<VarId, ConstId> map_;
+};
+
+}  // namespace pw
+
+#endif  // PW_TABLES_VALUATION_H_

@@ -1,0 +1,117 @@
+#include "workload/random_gen.h"
+
+#include <set>
+
+namespace pw {
+
+Graph RandomGraph(int num_nodes, double edge_probability, std::mt19937& rng) {
+  Graph g(num_nodes);
+  std::bernoulli_distribution flip(edge_probability);
+  for (int a = 0; a < num_nodes; ++a) {
+    for (int b = a + 1; b < num_nodes; ++b) {
+      if (flip(rng)) g.AddEdge(a, b);
+    }
+  }
+  return g;
+}
+
+Graph RandomThreeColorableGraph(int num_nodes, double edge_probability,
+                                std::mt19937& rng) {
+  std::uniform_int_distribution<int> color(0, 2);
+  std::vector<int> planted(num_nodes);
+  for (int& c : planted) c = color(rng);
+  Graph g(num_nodes);
+  std::bernoulli_distribution flip(edge_probability);
+  for (int a = 0; a < num_nodes; ++a) {
+    for (int b = a + 1; b < num_nodes; ++b) {
+      if (planted[a] != planted[b] && flip(rng)) g.AddEdge(a, b);
+    }
+  }
+  return g;
+}
+
+ClausalFormula RandomClausalFormula(int num_vars, int num_clauses,
+                                    int clause_width, std::mt19937& rng) {
+  ClausalFormula f;
+  f.num_vars = num_vars;
+  std::uniform_int_distribution<int> var(0, num_vars - 1);
+  std::bernoulli_distribution neg(0.5);
+  for (int i = 0; i < num_clauses; ++i) {
+    Clause c;
+    std::set<int> used;
+    while (static_cast<int>(c.size()) < clause_width) {
+      int v = var(rng);
+      if (!used.insert(v).second && num_vars >= clause_width) continue;
+      c.push_back(neg(rng) ? Literal::Neg(v) : Literal::Pos(v));
+    }
+    f.clauses.push_back(std::move(c));
+  }
+  return f;
+}
+
+ForallExistsCnf RandomForallExists(int num_forall, int num_exists,
+                                   int num_clauses, std::mt19937& rng) {
+  ForallExistsCnf out;
+  out.num_forall = num_forall;
+  out.formula =
+      RandomClausalFormula(num_forall + num_exists, num_clauses, 3, rng);
+  return out;
+}
+
+namespace {
+
+Term RandomTerm(const RandomCTableOptions& options, std::mt19937& rng) {
+  std::bernoulli_distribution is_var(options.variable_probability);
+  if (is_var(rng) && options.num_variables > 0) {
+    std::uniform_int_distribution<int> var(0, options.num_variables - 1);
+    return Term::Var(var(rng));
+  }
+  std::uniform_int_distribution<int> c(0, options.num_constants - 1);
+  return Term::Const(c(rng));
+}
+
+CondAtom RandomAtom(const RandomCTableOptions& options, std::mt19937& rng) {
+  std::bernoulli_distribution eq(options.equality_probability);
+  Term lhs = RandomTerm(options, rng);
+  Term rhs = RandomTerm(options, rng);
+  return eq(rng) ? Eq(lhs, rhs) : Neq(lhs, rhs);
+}
+
+}  // namespace
+
+CTable RandomCTable(const RandomCTableOptions& options, std::mt19937& rng) {
+  CTable t(options.arity);
+  std::uniform_int_distribution<int> local_count(0, options.num_local_atoms);
+  for (int r = 0; r < options.num_rows; ++r) {
+    Tuple tuple;
+    for (int i = 0; i < options.arity; ++i) {
+      tuple.push_back(RandomTerm(options, rng));
+    }
+    Conjunction local;
+    if (options.num_local_atoms > 0) {
+      int k = local_count(rng);
+      for (int i = 0; i < k; ++i) local.Add(RandomAtom(options, rng));
+    }
+    t.AddRow(std::move(tuple), std::move(local));
+  }
+  Conjunction global;
+  for (int i = 0; i < options.num_global_atoms; ++i) {
+    global.Add(RandomAtom(options, rng));
+  }
+  t.SetGlobal(std::move(global));
+  return t;
+}
+
+Relation RandomRelation(int arity, int num_facts, int num_constants,
+                        std::mt19937& rng) {
+  Relation r(arity);
+  std::uniform_int_distribution<int> c(0, num_constants - 1);
+  for (int i = 0; i < num_facts; ++i) {
+    Fact f;
+    for (int j = 0; j < arity; ++j) f.push_back(c(rng));
+    r.Insert(f);
+  }
+  return r;
+}
+
+}  // namespace pw

@@ -1,0 +1,54 @@
+// Seeded random workload generators for tests and benchmarks.
+
+#ifndef PW_WORKLOAD_RANDOM_GEN_H_
+#define PW_WORKLOAD_RANDOM_GEN_H_
+
+#include <cstdint>
+#include <random>
+
+#include "core/instance.h"
+#include "solvers/cnf.h"
+#include "solvers/graph.h"
+#include "tables/ctable.h"
+
+namespace pw {
+
+/// Erdos–Renyi G(n, p) without self-loops or duplicate edges.
+Graph RandomGraph(int num_nodes, double edge_probability, std::mt19937& rng);
+
+/// A random graph guaranteed 3-colorable (edges only between planted color
+/// classes).
+Graph RandomThreeColorableGraph(int num_nodes, double edge_probability,
+                                std::mt19937& rng);
+
+/// Uniform random k-CNF/k-DNF clause matrix over `num_vars` variables.
+ClausalFormula RandomClausalFormula(int num_vars, int num_clauses,
+                                    int clause_width, std::mt19937& rng);
+
+/// Random forall-exists split of a random 3CNF.
+ForallExistsCnf RandomForallExists(int num_forall, int num_exists,
+                                   int num_clauses, std::mt19937& rng);
+
+/// Options controlling random c-table generation.
+struct RandomCTableOptions {
+  int arity = 2;
+  int num_rows = 4;
+  int num_constants = 3;    // constants drawn from [0, num_constants)
+  int num_variables = 3;    // variables drawn from [0, num_variables)
+  double variable_probability = 0.4;  // per-cell chance of a variable
+  int num_global_atoms = 0;
+  int num_local_atoms = 0;  // per-row upper bound (uniform in [0, bound])
+  double equality_probability = 0.5;  // chance a condition atom is equality
+};
+
+/// A random c-table; conditions relate random variables/constants from the
+/// same pools.
+CTable RandomCTable(const RandomCTableOptions& options, std::mt19937& rng);
+
+/// A random complete relation with facts over [0, num_constants).
+Relation RandomRelation(int arity, int num_facts, int num_constants,
+                        std::mt19937& rng);
+
+}  // namespace pw
+
+#endif  // PW_WORKLOAD_RANDOM_GEN_H_

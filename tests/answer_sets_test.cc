@@ -1,0 +1,161 @@
+// Tests for whole-answer-set computation: possible and certain answers over
+// the input constant domain, cross-validated against world enumeration.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "decision/answer_sets.h"
+#include "tables/world_enum.h"
+#include "workload/random_gen.h"
+
+namespace pw {
+namespace {
+
+TEST(AnswerSetsTest, IdentityOnGTable) {
+  CTable t(1);
+  t.AddRow(Tuple{C(1)});
+  t.AddRow(Tuple{V(0)});
+  t.SetGlobal(Conjunction{Neq(V(0), C(2))});
+  CDatabase db{t};
+  Instance possible = PossibleAnswers(View::Identity(), db);
+  // Ground possible answers over the domain {1, 2}: (1); (2) is forbidden.
+  EXPECT_EQ(possible.relation(0), Relation(1, {{1}}));
+  Instance certain = CertainAnswers(View::Identity(), db);
+  EXPECT_EQ(certain.relation(0), Relation(1, {{1}}));
+}
+
+TEST(AnswerSetsTest, ConditionalRowsDifferentiate) {
+  // Rows (1) :: u = 5 and (2) :: true over domain {1, 2, 5}.
+  CTable t(1);
+  t.AddRow(Tuple{C(1)}, Conjunction{Eq(V(0), C(5))});
+  t.AddRow(Tuple{C(2)});
+  CDatabase db{t};
+  Instance possible = PossibleAnswers(View::Identity(), db);
+  EXPECT_EQ(possible.relation(0), Relation(1, {{1}, {2}}));
+  Instance certain = CertainAnswers(View::Identity(), db);
+  EXPECT_EQ(certain.relation(0), Relation(1, {{2}}));
+}
+
+TEST(AnswerSetsTest, RaViewAnswers) {
+  // q = pi_0(sigma_{#1 = 3}(R)) on {(1, x), (2, 3)}.
+  CTable t(2);
+  t.AddRow(Tuple{C(1), V(0)});
+  t.AddRow(Tuple{C(2), C(3)});
+  CDatabase db{t};
+  View q = View::Ra({RaExpr::ProjectCols(
+      RaExpr::Select(RaExpr::Rel(0, 2),
+                     {SelectAtom::Eq(ColOrConst::Col(1),
+                                     ColOrConst::Const(3))}),
+      {0})});
+  Instance possible = PossibleAnswers(q, db);
+  EXPECT_EQ(possible.relation(0), Relation(1, {{1}, {2}}));
+  Instance certain = CertainAnswers(q, db);
+  EXPECT_EQ(certain.relation(0), Relation(1, {{2}}));
+}
+
+TEST(AnswerSetsTest, DatalogViewAnswers) {
+  DatalogProgram tc({2, 2}, 1);
+  DatalogRule base;
+  base.head = {1, Tuple{V(100), V(101)}};
+  base.body = {{0, Tuple{V(100), V(101)}}};
+  tc.AddRule(base);
+  DatalogRule step;
+  step.head = {1, Tuple{V(100), V(102)}};
+  step.body = {{1, Tuple{V(100), V(101)}}, {0, Tuple{V(101), V(102)}}};
+  tc.AddRule(step);
+  View q = View::Datalog(tc, {1});
+
+  CTable t(2);
+  t.AddRow(Tuple{C(1), V(0)});
+  t.AddRow(Tuple{V(0), C(3)});
+  CDatabase db{t};
+  Instance certain = CertainAnswers(q, db);
+  EXPECT_TRUE(certain.relation(0).Contains(Fact{1, 3}));
+  Instance possible = PossibleAnswers(q, db);
+  EXPECT_TRUE(possible.relation(0).Contains(Fact{1, 1}));   // x = 1
+  EXPECT_FALSE(certain.relation(0).Contains(Fact{1, 1}));
+}
+
+TEST(AnswerSetsTest, FirstOrderViewFallsBackToEnumeration) {
+  // q = R - {(1)} on {(x), (2)}: over domain {1, 2}, (2) is always an
+  // answer; (1) never is (subtracted); over the domain nothing else.
+  CTable t(1);
+  t.AddRow(Tuple{V(0)});
+  t.AddRow(Tuple{C(2)});
+  CDatabase db{t};
+  View q = View::Ra(
+      {RaExpr::Diff(RaExpr::Rel(0, 1), RaExpr::ConstRel(Relation(1, {{1}})))});
+  Instance possible = PossibleAnswers(q, db);
+  EXPECT_EQ(possible.relation(0), Relation(1, {{2}}));
+  Instance certain = CertainAnswers(q, db);
+  EXPECT_EQ(certain.relation(0), Relation(1, {{2}}));
+}
+
+TEST(AnswerSetsTest, EmptyRepCertainlyVacuous) {
+  CTable t(1);
+  t.AddRow(Tuple{C(1)});
+  t.SetGlobal(Conjunction{FalseAtom()});
+  CDatabase db{t};
+  // No worlds: nothing possible; certainty vacuous over candidates.
+  Instance possible = PossibleAnswers(View::Identity(), db);
+  EXPECT_TRUE(possible.relation(0).empty());
+}
+
+// Oracle-based randomized validation.
+class AnswerSetsPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AnswerSetsPropertyTest, MatchEnumerationOracle) {
+  std::mt19937 rng(GetParam());
+  RandomCTableOptions options;
+  options.arity = 2;
+  options.num_rows = 3;
+  options.num_constants = 3;
+  options.num_variables = 2;
+  options.num_local_atoms = GetParam() % 2;
+  options.num_global_atoms = GetParam() % 2;
+  CTable t = RandomCTable(options, rng);
+  CDatabase db{t};
+  if (RepIsEmpty(db)) return;
+
+  View view = View::Identity();
+  Instance possible = PossibleAnswers(view, db);
+  Instance certain = CertainAnswers(view, db);
+
+  // Oracle over the same domain.
+  std::set<ConstId> dom;
+  for (ConstId c : db.Constants()) dom.insert(c);
+  Relation oracle_possible(2);
+  Relation oracle_certain(2);
+  bool first = true;
+  WorldEnumOptions wopts;
+  ForEachWorld(db, wopts, [&](const Instance& world, const Valuation&) {
+    Relation ground(2);
+    for (const Fact& f : world.relation(0)) {
+      bool in_dom = true;
+      for (ConstId c : f) in_dom &= dom.count(c) > 0;
+      if (in_dom) ground.Insert(f);
+    }
+    oracle_possible = oracle_possible.UnionWith(ground);
+    if (first) {
+      oracle_certain = ground;
+      first = false;
+    } else {
+      Relation kept(2);
+      for (const Fact& f : oracle_certain) {
+        if (ground.Contains(f)) kept.Insert(f);
+      }
+      oracle_certain = kept;
+    }
+    return true;
+  });
+  EXPECT_EQ(possible.relation(0), oracle_possible) << t.ToString();
+  EXPECT_EQ(certain.relation(0), oracle_certain) << t.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnswerSetsPropertyTest,
+                         ::testing::Range(1, 25));
+
+}  // namespace
+}  // namespace pw

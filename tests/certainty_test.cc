@@ -1,0 +1,183 @@
+// Tests for the certainty problems CERT(k, q) / CERT(*, q) (Theorem 5.3):
+// the PTIME DATALOG-on-g-tables algorithm, the coNP search, the
+// factwise reduction of Proposition 2.1(6), and cross-validation.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "decision/certainty.h"
+#include "tables/world_enum.h"
+#include "workload/random_gen.h"
+
+namespace pw {
+namespace {
+
+DatalogProgram TransitiveClosure() {
+  DatalogProgram p({2, 2}, /*num_edb=*/1);
+  DatalogRule base;
+  base.head = {1, Tuple{V(0), V(1)}};
+  base.body = {{0, Tuple{V(0), V(1)}}};
+  p.AddRule(base);
+  DatalogRule step;
+  step.head = {1, Tuple{V(0), V(2)}};
+  step.body = {{1, Tuple{V(0), V(1)}}, {0, Tuple{V(1), V(2)}}};
+  p.AddRule(step);
+  return p;
+}
+
+TEST(CertDatalogTest, CertainPathThroughNull) {
+  CTable t(2);
+  t.AddRow(Tuple{C(1), V(0)});
+  t.AddRow(Tuple{V(0), C(3)});
+  CDatabase db{t};
+  View q = View::Datalog(TransitiveClosure(), {1});
+  EXPECT_EQ(CertDatalogGTables(q, db, {{0, {1, 3}}}), true);
+  EXPECT_EQ(CertDatalogGTables(q, db, {{0, {1, 2}}}), false);
+}
+
+TEST(CertDatalogTest, IdentityViewOnGTable) {
+  CTable t(1);
+  t.AddRow(Tuple{C(1)});
+  t.AddRow(Tuple{V(0)});
+  CDatabase db{t};
+  EXPECT_EQ(CertDatalogGTables(View::Identity(), db, {{0, {1}}}), true);
+  EXPECT_EQ(CertDatalogGTables(View::Identity(), db, {{0, {2}}}), false);
+}
+
+TEST(CertDatalogTest, EmptyRepVacuouslyCertain) {
+  CTable t(1);
+  t.AddRow(Tuple{C(1)});
+  t.SetGlobal(Conjunction{FalseAtom()});
+  CDatabase db{t};
+  EXPECT_EQ(CertDatalogGTables(View::Identity(), db, {{0, {999}}}), true);
+}
+
+TEST(CertDatalogTest, RejectsCTables) {
+  CTable t(1);
+  t.AddRow(Tuple{C(1)}, Conjunction{Eq(V(0), C(1))});
+  CDatabase db{t};
+  EXPECT_FALSE(
+      CertDatalogGTables(View::Identity(), db, {{0, {1}}}).has_value());
+}
+
+TEST(CertaintySearchTest, CTableConditionalFact) {
+  // Row (1) with local u = 1 and row (1) with local u != 1: (1) is certain.
+  CTable t(1);
+  t.AddRow(Tuple{C(1)}, Conjunction{Eq(V(0), C(1))});
+  t.AddRow(Tuple{C(1)}, Conjunction{Neq(V(0), C(1))});
+  CDatabase db{t};
+  EXPECT_TRUE(CertaintySearch(View::Identity(), db, {{0, {1}}}));
+
+  // A single conditioned row is not certain.
+  CTable t2(1);
+  t2.AddRow(Tuple{C(1)}, Conjunction{Eq(V(0), C(1))});
+  CDatabase db2{t2};
+  EXPECT_FALSE(CertaintySearch(View::Identity(), db2, {{0, {1}}}));
+}
+
+TEST(CertaintyDispatcherTest, CTableImagePathAgreesWithSearch) {
+  CTable t(1);
+  t.AddRow(Tuple{C(1)}, Conjunction{Eq(V(0), C(1))});
+  t.AddRow(Tuple{C(1)}, Conjunction{Neq(V(0), C(1))});
+  CDatabase db{t};
+  EXPECT_TRUE(Certainty(View::Identity(), db, {{0, {1}}}));
+  EXPECT_FALSE(Certainty(View::Identity(), db, {{0, {2}}}));
+}
+
+TEST(CertaintyTest, CertaintyImpliesPossibilityNotConverse) {
+  CTable t(1);
+  t.AddRow(Tuple{V(0)});
+  t.AddRow(Tuple{C(1)});
+  CDatabase db{t};
+  // (1) certain; (2) possible (x -> 2) but not certain.
+  EXPECT_TRUE(Certainty(View::Identity(), db, {{0, {1}}}));
+  EXPECT_FALSE(Certainty(View::Identity(), db, {{0, {2}}}));
+}
+
+TEST(CertaintyTest, FactwiseReductionAgrees) {
+  std::mt19937 rng(31);
+  for (int round = 0; round < 20; ++round) {
+    RandomCTableOptions options;
+    options.arity = 1;
+    options.num_rows = 3;
+    options.num_constants = 2;
+    options.num_variables = 2;
+    options.num_local_atoms = 1;
+    CTable t = RandomCTable(options, rng);
+    CDatabase db{t};
+    std::vector<LocatedFact> pattern = {{0, {0}}, {0, {1}}};
+    EXPECT_EQ(Certainty(View::Identity(), db, pattern),
+              CertaintyFactwise(View::Identity(), db, pattern))
+        << t.ToString();
+  }
+}
+
+// --- Randomized cross-validation ------------------------------------------
+
+bool CertainOracle(const View& view, const CDatabase& db,
+                   const std::vector<LocatedFact>& pattern) {
+  WorldEnumOptions options;
+  for (const LocatedFact& lf : pattern) {
+    for (ConstId c : lf.fact) options.extra_constants.push_back(c);
+  }
+  bool certain = true;
+  ForEachWorld(db, options, [&](const Instance& world, const Valuation&) {
+    if (!ContainsAll(view.Eval(world), pattern)) {
+      certain = false;
+      return false;
+    }
+    return true;
+  });
+  return certain;
+}
+
+class CertaintyPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CertaintyPropertyTest, DispatcherAgreesWithOracle) {
+  std::mt19937 rng(GetParam());
+  RandomCTableOptions options;
+  options.arity = 2;
+  options.num_rows = 3;
+  options.num_constants = 3;
+  options.num_variables = 3;
+  options.num_local_atoms = GetParam() % 2;
+  options.num_global_atoms = GetParam() % 2;
+  CTable t = RandomCTable(options, rng);
+  CDatabase db{t};
+
+  std::uniform_int_distribution<int> c(0, 3);
+  for (int round = 0; round < 6; ++round) {
+    std::vector<LocatedFact> pattern = {{0, Fact{c(rng), c(rng)}}};
+    EXPECT_EQ(Certainty(View::Identity(), db, pattern),
+              CertainOracle(View::Identity(), db, pattern))
+        << t.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CertaintyPropertyTest,
+                         ::testing::Range(1, 31));
+
+TEST(CertDatalogAgreementTest, FastPathAgreesWithOracleOnGTables) {
+  std::mt19937 rng(303);
+  View q = View::Datalog(TransitiveClosure(), {1});
+  for (int round = 0; round < 20; ++round) {
+    RandomCTableOptions options;
+    options.arity = 2;
+    options.num_rows = 3;
+    options.num_constants = 3;
+    options.num_variables = 2;
+    options.num_global_atoms = round % 2;
+    CTable t = RandomCTable(options, rng);
+    CDatabase db{t};
+    if (RepIsEmpty(db)) continue;
+    std::uniform_int_distribution<int> c(0, 2);
+    std::vector<LocatedFact> pattern = {{0, Fact{c(rng), c(rng)}}};
+    auto fast = CertDatalogGTables(q, db, pattern);
+    ASSERT_TRUE(fast.has_value());
+    EXPECT_EQ(*fast, CertainOracle(q, db, pattern)) << t.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace pw

@@ -1,0 +1,115 @@
+// Tests for CTable::Minimized(): rep preservation and reduction effects.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "tables/ctable.h"
+#include "tables/world_enum.h"
+#include "workload/random_gen.h"
+
+namespace pw {
+namespace {
+
+TEST(MinimizeTest, DropsUnsatisfiableRows) {
+  CTable t(1);
+  t.AddRow(Tuple{C(1)}, Conjunction{Eq(V(0), C(1)), Eq(V(0), C(2))});
+  t.AddRow(Tuple{C(2)});
+  CTable m = t.Minimized();
+  EXPECT_EQ(m.num_rows(), 1u);
+  EXPECT_EQ(m.row(0).tuple, (Tuple{C(2)}));
+}
+
+TEST(MinimizeTest, DropsRowsContradictingGlobal) {
+  CTable t(1);
+  t.SetGlobal(Conjunction{Eq(V(0), C(1))});
+  t.AddRow(Tuple{C(5)}, Conjunction{Neq(V(0), C(1))});
+  t.AddRow(Tuple{C(6)});
+  CTable m = t.Minimized();
+  EXPECT_EQ(m.num_rows(), 1u);
+}
+
+TEST(MinimizeTest, DropsLocalAtomsImpliedByGlobal) {
+  CTable t(1);
+  t.SetGlobal(Conjunction{Eq(V(0), C(1))});
+  t.AddRow(Tuple{C(5)}, Conjunction{Eq(V(0), C(1)), Neq(V(1), C(3))});
+  CTable m = t.Minimized();
+  ASSERT_EQ(m.num_rows(), 1u);
+  EXPECT_EQ(m.row(0).local.size(), 1u);  // only the x1 != 3 atom remains
+}
+
+TEST(MinimizeTest, SubsumesConditionalDuplicates) {
+  CTable t(1);
+  t.AddRow(Tuple{C(1)});
+  t.AddRow(Tuple{C(1)}, Conjunction{Eq(V(0), C(7))});
+  CTable m = t.Minimized();
+  EXPECT_EQ(m.num_rows(), 1u);
+  EXPECT_TRUE(m.row(0).local.IsTautology());
+}
+
+TEST(MinimizeTest, KeepsOneOfIdenticalRows) {
+  CTable t(1);
+  t.AddRow(Tuple{C(1)}, Conjunction{Eq(V(0), C(7))});
+  t.AddRow(Tuple{C(1)}, Conjunction{Eq(V(0), C(7))});
+  EXPECT_EQ(t.Minimized().num_rows(), 1u);
+}
+
+TEST(MinimizeTest, DistinctConditionsBothKept) {
+  CTable t(1);
+  t.AddRow(Tuple{C(1)}, Conjunction{Eq(V(0), C(7))});
+  t.AddRow(Tuple{C(1)}, Conjunction{Eq(V(0), C(8))});
+  EXPECT_EQ(t.Minimized().num_rows(), 2u);
+}
+
+TEST(MinimizeTest, UnsatisfiableGlobalShortCircuits) {
+  CTable t(1);
+  t.AddRow(Tuple{C(1)});
+  t.SetGlobal(Conjunction{FalseAtom()});
+  CTable m = t.Minimized();
+  EXPECT_FALSE(m.global().Satisfiable());
+}
+
+class MinimizePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinimizePropertyTest, PreservesRep) {
+  std::mt19937 rng(GetParam());
+  RandomCTableOptions options;
+  options.arity = 2;
+  options.num_rows = 4;
+  options.num_constants = 3;
+  options.num_variables = 3;
+  options.num_local_atoms = 2;
+  options.num_global_atoms = 1;
+  CTable t = RandomCTable(options, rng);
+  CTable m = t.Minimized();
+  EXPECT_LE(m.num_rows(), t.num_rows());
+
+  CDatabase before{t};
+  CDatabase after{m};
+  if (RepIsEmpty(before)) {
+    EXPECT_TRUE(RepIsEmpty(after));
+    return;
+  }
+  // Same worlds: every valuation of the original's variables gives the same
+  // instance on both (Minimized never renames variables).
+  WorldEnumOptions wopts;
+  wopts.extra_constants = after.Constants();
+  bool same = true;
+  ForEachSatisfyingValuation(before, wopts, [&](const Valuation& v) {
+    // Totalize over any variable dropped by minimization: Apply only needs
+    // the kept variables, all of which the original also has... unless the
+    // minimized table kept a variable the valuation misses (impossible).
+    if (v.Apply(before) != Instance({v.Apply(m)})) {
+      same = false;
+      return false;
+    }
+    return true;
+  });
+  EXPECT_TRUE(same) << t.ToString() << "\nvs minimized\n" << m.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinimizePropertyTest,
+                         ::testing::Range(1, 31));
+
+}  // namespace
+}  // namespace pw

@@ -1,0 +1,169 @@
+// Structural reproduction of the paper's worked figures: the generated
+// tables must match the paper's listings (modulo variable renaming and
+// 0-based node ids).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "reductions/colorability.h"
+#include "reductions/forall_exists.h"
+#include "reductions/satisfiability.h"
+#include "reductions/tautology.h"
+#include "solvers/cnf.h"
+#include "solvers/graph.h"
+
+namespace pw {
+namespace {
+
+TEST(PaperFiguresTest, Fig4aGraph) {
+  Graph g = Graph::PaperFig4a();
+  EXPECT_EQ(g.num_nodes(), 5);
+  EXPECT_EQ(g.num_edges(), 5u);
+}
+
+TEST(PaperFiguresTest, Fig4b_ITable) {
+  // Paper: T = {1, 2, 3, x1..x5}, phi = {x1!=x2, x2!=x3, x3!=x4, x4!=x1,
+  // x3!=x5}; our nodes are 0-based.
+  MembershipInstance inst =
+      ColorabilityToITableMembership(Graph::PaperFig4a());
+  const CTable& t = inst.database.table(0);
+  ASSERT_EQ(t.num_rows(), 8u);
+  EXPECT_EQ(t.row(0).tuple, (Tuple{C(1)}));
+  EXPECT_EQ(t.row(1).tuple, (Tuple{C(2)}));
+  EXPECT_EQ(t.row(2).tuple, (Tuple{C(3)}));
+  for (int a = 0; a < 5; ++a) {
+    EXPECT_EQ(t.row(3 + a).tuple, (Tuple{V(a)}));
+  }
+  const auto& atoms = t.global().atoms();
+  ASSERT_EQ(atoms.size(), 5u);
+  EXPECT_EQ(atoms[0], Neq(V(0), V(1)));
+  EXPECT_EQ(atoms[1], Neq(V(1), V(2)));
+  EXPECT_EQ(atoms[2], Neq(V(2), V(3)));
+  EXPECT_EQ(atoms[3], Neq(V(3), V(0)));
+  EXPECT_EQ(atoms[4], Neq(V(2), V(4)));
+  EXPECT_EQ(inst.instance.relation(0), Relation(1, {{1}, {2}, {3}}));
+}
+
+TEST(PaperFiguresTest, Fig4c_ETable) {
+  // Paper: T contains the six proper color pairs and one (x_a, x_b) row per
+  // edge; I0 is the six proper pairs.
+  MembershipInstance inst =
+      ColorabilityToETableMembership(Graph::PaperFig4a());
+  const CTable& t = inst.database.table(0);
+  ASSERT_EQ(t.num_rows(), 11u);  // 6 color pairs + 5 edges
+  int var_rows = 0;
+  for (const CRow& row : t.rows()) {
+    if (row.tuple[0].is_variable()) {
+      EXPECT_TRUE(row.tuple[1].is_variable());
+      ++var_rows;
+    }
+  }
+  EXPECT_EQ(var_rows, 5);
+  EXPECT_EQ(inst.instance.relation(0).size(), 6u);
+}
+
+TEST(PaperFiguresTest, Fig4d_ViewTables) {
+  // Paper: T(R) rows (b_j, x_j, c_j, y_j, j); T(S) the color pairs;
+  // S0 = {1..5}; R0 = incidence triples.
+  MembershipInstance inst = ColorabilityToViewMembership(Graph::PaperFig4a());
+  const CTable& tr = inst.database.table(0);
+  ASSERT_EQ(tr.num_rows(), 5u);
+  // First edge (0,1) -> row (1, x0, 2, y0, 1) in 1-based node ids.
+  EXPECT_EQ(tr.row(0).tuple[0], C(1));
+  EXPECT_EQ(tr.row(0).tuple[2], C(2));
+  EXPECT_EQ(tr.row(0).tuple[4], C(1));
+  EXPECT_TRUE(tr.row(0).tuple[1].is_variable());
+  EXPECT_TRUE(tr.row(0).tuple[3].is_variable());
+  EXPECT_EQ(inst.database.table(1).num_rows(), 6u);
+  EXPECT_EQ(inst.instance.relation(1),
+            Relation(1, {{1}, {2}, {3}, {4}, {5}}));
+  // Every R0 triple is an incidence triple: node belongs to both edges.
+  Graph g = Graph::PaperFig4a();
+  for (const Fact& f : inst.instance.relation(0)) {
+    auto [bj, cj] = g.edges()[f[1] - 1];
+    auto [bk, ck] = g.edges()[f[2] - 1];
+    int a = f[0] - 1;
+    EXPECT_TRUE(a == bj || a == cj);
+    EXPECT_TRUE(a == bk || a == ck);
+  }
+}
+
+TEST(PaperFiguresTest, Fig5FormulaShape) {
+  ClausalFormula f = PaperFig5Cnf();
+  EXPECT_EQ(f.num_vars, 5);
+  EXPECT_EQ(f.clauses.size(), 5u);
+  EXPECT_TRUE(f.IsThree());
+  // Clause 2 of the paper: x1 v -x2 v x4 (0-based vars 0, 1, 3).
+  EXPECT_EQ(f.clauses[1][0], Literal::Pos(0));
+  EXPECT_EQ(f.clauses[1][1], Literal::Neg(1));
+  EXPECT_EQ(f.clauses[1][2], Literal::Pos(3));
+}
+
+TEST(PaperFiguresTest, Fig7_ContainmentTables) {
+  // For the Fig. 5 forall-exists split: To has 2n + 7 rows; T has 2n + 7 +
+  // p rows; phi_T has 2n + (complementary pairs) + 3p atoms.
+  ForallExistsCnf qbf = PaperFig5ForallExists();
+  ContainmentInstance inst = ForallExistsToTableInITable(qbf);
+  int n = qbf.num_forall;
+  int p = static_cast<int>(qbf.formula.clauses.size());
+  EXPECT_EQ(inst.lhs.table(0).num_rows(), static_cast<size_t>(2 * n + 7));
+  EXPECT_EQ(inst.rhs.table(0).num_rows(),
+            static_cast<size_t>(2 * n + 7 + p));
+  // Paper's Fig. 7 lists w1!=5, y1!=6, w2!=5, y2!=6 plus the z constraints:
+  // count the boolean-encoding atoms.
+  int wy_atoms = 0;
+  for (const CondAtom& a : inst.rhs.table(0).global().atoms()) {
+    if (a.lhs.is_constant() || a.rhs.is_constant()) {
+      ConstId c = a.lhs.is_constant() ? a.lhs.constant() : a.rhs.constant();
+      if (c == 5 || c == 6) ++wy_atoms;
+    }
+  }
+  EXPECT_EQ(wy_atoms, 2 * n);
+  // Every clause position contributes one z != u/v atom.
+  EXPECT_GE(inst.rhs.table(0).global().size(),
+            static_cast<size_t>(2 * n + 3 * p));
+}
+
+TEST(PaperFiguresTest, Fig11b_ETablePossibility) {
+  // For Fig. 5's CNF (m = 5 vars, n = 5 clauses): T has 2m + 3n rows,
+  // P has 2m + n facts.
+  UnboundedPossibilityInstance inst = SatToETablePossibility(PaperFig5Cnf());
+  EXPECT_EQ(inst.database.table(0).num_rows(), 2u * 5 + 3u * 5);
+  EXPECT_EQ(inst.pattern.relation(0).size(), 2u * 5 + 5);
+}
+
+TEST(PaperFiguresTest, Fig11a_ITablePossibility) {
+  // T has 3n rows (one per clause position); phi has one inequality per
+  // complementary occurrence pair; P has n facts.
+  ClausalFormula f = PaperFig5Cnf();
+  UnboundedPossibilityInstance inst = SatToITablePossibility(f);
+  EXPECT_EQ(inst.database.table(0).num_rows(), 15u);
+  EXPECT_EQ(inst.pattern.relation(0).size(), 5u);
+  // The paper's Fig. 11(a) lists 12 inequalities for this formula.
+  EXPECT_EQ(inst.database.table(0).global().size(), 12u);
+}
+
+TEST(PaperFiguresTest, Fig6_NonColorabilityTable) {
+  // T0 = {(1, a, b) per edge} union {(0, a, x_a) per node}.
+  UniquenessInstance inst =
+      NonColorabilityToViewUniqueness(Graph::PaperFig4a());
+  const CTable& t = inst.database.table(0);
+  ASSERT_EQ(t.num_rows(), 10u);
+  int edge_rows = 0, node_rows = 0;
+  for (const CRow& row : t.rows()) {
+    if (row.tuple[0] == C(1)) {
+      ++edge_rows;
+      EXPECT_TRUE(row.tuple[2].is_constant());
+    } else {
+      ASSERT_EQ(row.tuple[0], C(0));
+      ++node_rows;
+      EXPECT_TRUE(row.tuple[2].is_variable());
+    }
+  }
+  EXPECT_EQ(edge_rows, 5);
+  EXPECT_EQ(node_rows, 5);
+}
+
+}  // namespace
+}  // namespace pw

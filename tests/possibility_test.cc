@@ -1,0 +1,219 @@
+// Tests for the possibility problems POSS(*, q) and POSS(k, q)
+// (Theorems 5.1, 5.2): the PTIME matching algorithm on Codd-tables, the
+// PTIME bounded algorithm via the Imielinski–Lipski image, the general
+// search, and randomized cross-validation.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "decision/possibility.h"
+#include "tables/world_enum.h"
+#include "workload/random_gen.h"
+
+namespace pw {
+namespace {
+
+TEST(PossUnboundedCoddTest, EachFactNeedsDistinctRow) {
+  CTable t(1);
+  t.AddRow(Tuple{V(0)});
+  t.AddRow(Tuple{V(1)});
+  CDatabase db{t};
+  EXPECT_EQ(PossUnboundedCoddTables(db, Instance({Relation(1, {{1}, {2}})})),
+            true);
+  EXPECT_EQ(
+      PossUnboundedCoddTables(db, Instance({Relation(1, {{1}, {2}, {3}})})),
+      false);
+}
+
+TEST(PossUnboundedCoddTest, ConstantsRestrictRows) {
+  CTable t(2);
+  t.AddRow(Tuple{C(1), V(0)});
+  t.AddRow(Tuple{C(2), V(1)});
+  CDatabase db{t};
+  EXPECT_EQ(PossUnboundedCoddTables(
+                db, Instance({Relation(2, {{1, 7}, {2, 8}})})),
+            true);
+  EXPECT_EQ(PossUnboundedCoddTables(db, Instance({Relation(2, {{3, 7}})})),
+            false);
+}
+
+TEST(PossUnboundedCoddTest, EmptyPatternAlwaysPossible) {
+  CDatabase db{CTable(1)};
+  EXPECT_EQ(PossUnboundedCoddTables(db, Instance(std::vector<int>{1})), true);
+}
+
+TEST(PossUnboundedCoddTest, NotApplicableToETables) {
+  CTable t(2);
+  t.AddRow(Tuple{V(0), V(0)});
+  CDatabase db{t};
+  EXPECT_FALSE(PossUnboundedCoddTables(db, Instance({Relation(2, {{1, 1}})}))
+                   .has_value());
+}
+
+TEST(PossBoundedTest, IdentityOnCTable) {
+  // Row (1, x) with local x != 2, global x != 3.
+  CTable t(2);
+  t.AddRow(Tuple{C(1), V(0)}, Conjunction{Neq(V(0), C(2))});
+  t.SetGlobal(Conjunction{Neq(V(0), C(3))});
+  CDatabase db{t};
+  RaQuery id = {RaExpr::Rel(0, 2)};
+  EXPECT_EQ(PossBoundedPosExistential(id, db, {{0, {1, 5}}}), true);
+  EXPECT_EQ(PossBoundedPosExistential(id, db, {{0, {1, 2}}}), false);
+  EXPECT_EQ(PossBoundedPosExistential(id, db, {{0, {1, 3}}}), false);
+  EXPECT_EQ(PossBoundedPosExistential(id, db, {{0, {2, 5}}}), false);
+}
+
+TEST(PossBoundedTest, TwoFactsMustBeJointlyPossible) {
+  // T = {(x), (y)} with global x != y: {(1)} and {(2)} jointly possible;
+  // {(1)}, {(1)} is just one fact.
+  CTable t(1);
+  t.AddRow(Tuple{V(0)});
+  t.AddRow(Tuple{V(1)});
+  t.SetGlobal(Conjunction{Neq(V(0), V(1))});
+  CDatabase db{t};
+  RaQuery id = {RaExpr::Rel(0, 1)};
+  EXPECT_EQ(PossBoundedPosExistential(id, db, {{0, {1}}, {0, {2}}}), true);
+  // Three distinct facts need three rows.
+  EXPECT_EQ(
+      PossBoundedPosExistential(id, db, {{0, {1}}, {0, {2}}, {0, {3}}}),
+      false);
+}
+
+TEST(PossBoundedTest, JointConsistencyThroughSharedVariable) {
+  // T = {(1, x), (2, x)}: (1, a) and (2, b) possible only when a == b.
+  CTable t(2);
+  t.AddRow(Tuple{C(1), V(0)});
+  t.AddRow(Tuple{C(2), V(0)});
+  CDatabase db{t};
+  RaQuery id = {RaExpr::Rel(0, 2)};
+  EXPECT_EQ(PossBoundedPosExistential(id, db, {{0, {1, 7}}, {0, {2, 7}}}),
+            true);
+  EXPECT_EQ(PossBoundedPosExistential(id, db, {{0, {1, 7}}, {0, {2, 8}}}),
+            false);
+}
+
+TEST(PossBoundedTest, QueryImageConditions) {
+  // q = pi_1(sigma_{c0 = c1}(R)) on T = {(x, y)}: (c) possible for any c
+  // (set x = y = c).
+  CTable t(2);
+  t.AddRow(Tuple{V(0), V(1)});
+  CDatabase db{t};
+  RaQuery q = {RaExpr::ProjectCols(
+      RaExpr::Select(RaExpr::Rel(0, 2),
+                     {SelectAtom::Eq(ColOrConst::Col(0), ColOrConst::Col(1))}),
+      {1})};
+  EXPECT_EQ(PossBoundedPosExistential(q, db, {{0, {5}}}), true);
+}
+
+TEST(PossBoundedTest, RejectsFirstOrderQueries) {
+  CDatabase db{CTable(1)};
+  RaQuery fo = {RaExpr::Diff(RaExpr::Rel(0, 1), RaExpr::Rel(0, 1))};
+  EXPECT_FALSE(PossBoundedPosExistential(fo, db, {}).has_value());
+}
+
+TEST(PossBoundedTest, UnsatisfiableGlobalNothingPossible) {
+  CTable t(1);
+  t.AddRow(Tuple{C(1)});
+  t.SetGlobal(Conjunction{FalseAtom()});
+  CDatabase db{t};
+  RaQuery id = {RaExpr::Rel(0, 1)};
+  EXPECT_EQ(PossBoundedPosExistential(id, db, {{0, {1}}}), false);
+}
+
+TEST(PossibilitySearchTest, FirstOrderViewNeedsEnumeration) {
+  // q = R - {(1)} on T = {(x)}: (2) possible, (1) not.
+  CTable t(1);
+  t.AddRow(Tuple{V(0)});
+  CDatabase db{t};
+  View q = View::Ra(
+      {RaExpr::Diff(RaExpr::Rel(0, 1), RaExpr::ConstRel(Relation(1, {{1}})))});
+  EXPECT_TRUE(PossibilitySearch(q, db, {{0, {2}}}));
+  EXPECT_FALSE(PossibilitySearch(q, db, {{0, {1}}}));
+}
+
+TEST(PossibilityDispatcherTest, UnboundedUsesMatchingForCodd) {
+  CTable t(1);
+  t.AddRow(Tuple{V(0)});
+  t.AddRow(Tuple{V(1)});
+  CDatabase db{t};
+  EXPECT_TRUE(PossibilityUnbounded(View::Identity(), db,
+                                   Instance({Relation(1, {{1}, {2}})})));
+  EXPECT_FALSE(PossibilityUnbounded(View::Identity(), db,
+                                    Instance({Relation(1, {{1}, {2}, {3}})})));
+}
+
+// --- Randomized cross-validation ------------------------------------------
+
+/// Oracle: enumerate worlds and look for one containing the pattern.
+bool PossibleOracle(const View& view, const CDatabase& db,
+                    const std::vector<LocatedFact>& pattern) {
+  WorldEnumOptions options;
+  for (const LocatedFact& lf : pattern) {
+    for (ConstId c : lf.fact) options.extra_constants.push_back(c);
+  }
+  bool possible = false;
+  ForEachWorld(db, options, [&](const Instance& world, const Valuation&) {
+    if (ContainsAll(view.Eval(world), pattern)) {
+      possible = true;
+      return false;
+    }
+    return true;
+  });
+  return possible;
+}
+
+class PossibilityPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PossibilityPropertyTest, BoundedAlgorithmAgreesWithOracle) {
+  std::mt19937 rng(GetParam());
+  RandomCTableOptions options;
+  options.arity = 2;
+  options.num_rows = 3;
+  options.num_constants = 3;
+  options.num_variables = 3;
+  options.num_local_atoms = GetParam() % 2;
+  options.num_global_atoms = GetParam() % 3;
+  CTable t = RandomCTable(options, rng);
+  CDatabase db{t};
+  RaQuery id = {RaExpr::Rel(0, 2)};
+
+  std::uniform_int_distribution<int> c(0, 3);
+  for (int round = 0; round < 8; ++round) {
+    std::vector<LocatedFact> pattern;
+    int k = 1 + (round % 2);
+    for (int i = 0; i < k; ++i) {
+      pattern.push_back({0, Fact{c(rng), c(rng)}});
+    }
+    EXPECT_EQ(PossBoundedPosExistential(id, db, pattern),
+              PossibleOracle(View::Identity(), db, pattern))
+        << t.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PossibilityPropertyTest,
+                         ::testing::Range(1, 31));
+
+TEST(PossibilityAgreementTest, CoddMatchingAgreesWithBoundedSearch) {
+  std::mt19937 rng(202);
+  for (int round = 0; round < 25; ++round) {
+    RandomCTableOptions options;
+    options.arity = 2;
+    options.num_rows = 4;
+    options.num_constants = 3;
+    options.num_variables = 200;  // effectively distinct variables
+    CTable t = RandomCTable(options, rng);
+    CDatabase db{t};
+    if (db.Kind() != TableKind::kCoddTable) continue;
+    Instance pattern({RandomRelation(2, 2, 4, rng)});
+    auto fast = PossUnboundedCoddTables(db, pattern);
+    ASSERT_TRUE(fast.has_value());
+    RaQuery id = {RaExpr::Rel(0, 2)};
+    EXPECT_EQ(*fast, PossBoundedPosExistential(id, db,
+                                               ToLocatedFacts(pattern)))
+        << t.ToString() << pattern.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace pw

@@ -1,0 +1,132 @@
+// Unit tests for ra/: expression construction, evaluation on complete
+// instances, and fragment classification.
+
+#include <gtest/gtest.h>
+
+#include "ra/eval.h"
+#include "ra/expr.h"
+#include "ra/properties.h"
+
+namespace pw {
+namespace {
+
+Instance SampleDb() {
+  // R0(a, b): edges; R1(a): marked nodes.
+  return Instance({Relation(2, {{1, 2}, {2, 3}, {1, 3}}),
+                   Relation(1, {{2}, {3}})});
+}
+
+TEST(RaEvalTest, RelPassesThrough) {
+  EXPECT_EQ(Eval(RaExpr::Rel(0, 2), SampleDb()),
+            Relation(2, {{1, 2}, {2, 3}, {1, 3}}));
+}
+
+TEST(RaEvalTest, ConstRel) {
+  Relation k(1, {{42}});
+  EXPECT_EQ(Eval(RaExpr::ConstRel(k), SampleDb()), k);
+}
+
+TEST(RaEvalTest, ProjectColsReordersAndDrops) {
+  RaExpr e = RaExpr::ProjectCols(RaExpr::Rel(0, 2), {1});
+  EXPECT_EQ(Eval(e, SampleDb()), Relation(1, {{2}, {3}}));
+}
+
+TEST(RaEvalTest, ProjectDuplicatesColumns) {
+  RaExpr e = RaExpr::ProjectCols(RaExpr::Rel(1, 1), {0, 0});
+  EXPECT_EQ(Eval(e, SampleDb()), Relation(2, {{2, 2}, {3, 3}}));
+}
+
+TEST(RaEvalTest, ProjectConstantsIntroduceValues) {
+  RaExpr e = RaExpr::Project(RaExpr::Rel(1, 1),
+                             {ColOrConst::Col(0), ColOrConst::Const(9)});
+  EXPECT_EQ(Eval(e, SampleDb()), Relation(2, {{2, 9}, {3, 9}}));
+}
+
+TEST(RaEvalTest, SelectByConstant) {
+  RaExpr e = RaExpr::Select(
+      RaExpr::Rel(0, 2),
+      {SelectAtom::Eq(ColOrConst::Col(0), ColOrConst::Const(1))});
+  EXPECT_EQ(Eval(e, SampleDb()), Relation(2, {{1, 2}, {1, 3}}));
+}
+
+TEST(RaEvalTest, SelectByColumnInequality) {
+  RaExpr e = RaExpr::Select(
+      RaExpr::Rel(0, 2),
+      {SelectAtom::Neq(ColOrConst::Col(1), ColOrConst::Const(3))});
+  EXPECT_EQ(Eval(e, SampleDb()), Relation(2, {{1, 2}}));
+}
+
+TEST(RaEvalTest, ProductConcatenates) {
+  RaExpr e = RaExpr::Product(RaExpr::Rel(1, 1), RaExpr::Rel(1, 1));
+  EXPECT_EQ(Eval(e, SampleDb()).size(), 4u);
+  EXPECT_EQ(e.arity(), 2);
+}
+
+TEST(RaEvalTest, JoinSelectsMatchingPairs) {
+  // Edges joined tail-to-head: paths of length 2.
+  RaExpr e = RaExpr::ProjectCols(
+      RaExpr::Join(RaExpr::Rel(0, 2), RaExpr::Rel(0, 2), {{1, 0}}), {0, 3});
+  EXPECT_EQ(Eval(e, SampleDb()), Relation(2, {{1, 3}}));
+}
+
+TEST(RaEvalTest, UnionDeduplicates) {
+  RaExpr e = RaExpr::Union(RaExpr::Rel(1, 1),
+                           RaExpr::ConstRel(Relation(1, {{2}, {9}})));
+  EXPECT_EQ(Eval(e, SampleDb()), Relation(1, {{2}, {3}, {9}}));
+}
+
+TEST(RaEvalTest, Difference) {
+  RaExpr e = RaExpr::Diff(RaExpr::Rel(1, 1),
+                          RaExpr::ConstRel(Relation(1, {{2}})));
+  EXPECT_EQ(Eval(e, SampleDb()), Relation(1, {{3}}));
+}
+
+TEST(RaEvalTest, EvalQueryMultipleOutputs) {
+  RaQuery q = {RaExpr::Rel(1, 1), RaExpr::ProjectCols(RaExpr::Rel(0, 2), {0})};
+  Instance out = EvalQuery(q, SampleDb());
+  EXPECT_EQ(out.num_relations(), 2u);
+  EXPECT_EQ(out.relation(1), Relation(1, {{1}, {2}}));
+}
+
+TEST(RaPropertiesTest, PositiveExistentialFragment) {
+  RaExpr pos = RaExpr::ProjectCols(
+      RaExpr::Select(RaExpr::Product(RaExpr::Rel(0, 2), RaExpr::Rel(1, 1)),
+                     {SelectAtom::Eq(ColOrConst::Col(1), ColOrConst::Col(2))}),
+      {0});
+  EXPECT_TRUE(IsPositiveExistential(pos));
+  EXPECT_FALSE(UsesDifference(pos));
+}
+
+TEST(RaPropertiesTest, NeqNeedsAllowFlag) {
+  RaExpr neq = RaExpr::Select(
+      RaExpr::Rel(0, 2),
+      {SelectAtom::Neq(ColOrConst::Col(0), ColOrConst::Col(1))});
+  EXPECT_FALSE(IsPositiveExistential(neq, /*allow_neq=*/false));
+  EXPECT_TRUE(IsPositiveExistential(neq, /*allow_neq=*/true));
+}
+
+TEST(RaPropertiesTest, DifferenceLeavesFragment) {
+  RaExpr diff = RaExpr::Diff(RaExpr::Rel(1, 1), RaExpr::Rel(1, 1));
+  EXPECT_FALSE(IsPositiveExistential(diff, /*allow_neq=*/true));
+  EXPECT_TRUE(UsesDifference(diff));
+  EXPECT_FALSE(IsPositiveExistential(RaQuery{RaExpr::Rel(1, 1), diff}));
+}
+
+TEST(RaExprTest, AritiesComputed) {
+  RaExpr r = RaExpr::Rel(0, 2);
+  EXPECT_EQ(RaExpr::Product(r, r).arity(), 4);
+  EXPECT_EQ(RaExpr::ProjectCols(r, {0, 1, 0}).arity(), 3);
+  EXPECT_EQ(RaExpr::Union(r, r).arity(), 2);
+}
+
+TEST(RaExprTest, ToStringRoundTripsStructure) {
+  RaExpr e = RaExpr::ProjectCols(
+      RaExpr::Select(RaExpr::Rel(0, 2),
+                     {SelectAtom::Eq(ColOrConst::Col(0),
+                                     ColOrConst::Const(1))}),
+      {1});
+  EXPECT_EQ(e.ToString(), "pi[#1](sigma[#0=1](R0))");
+}
+
+}  // namespace
+}  // namespace pw

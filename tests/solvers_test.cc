@@ -1,0 +1,333 @@
+// Unit tests for solvers/: bipartite matching, SAT, DNF tautology,
+// forall-exists CNF, graph coloring.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "solvers/bipartite_matching.h"
+#include "solvers/cnf.h"
+#include "solvers/dnf_tautology.h"
+#include "solvers/graph.h"
+#include "solvers/graph_color.h"
+#include "solvers/qbf.h"
+#include "solvers/sat.h"
+#include "workload/random_gen.h"
+
+namespace pw {
+namespace {
+
+TEST(MatchingTest, PerfectMatchingOnIdentity) {
+  BipartiteGraph g(3, 3);
+  for (int i = 0; i < 3; ++i) g.AddEdge(i, i);
+  EXPECT_EQ(MaxBipartiteMatching(g).size, 3);
+}
+
+TEST(MatchingTest, AugmentingPathNeeded) {
+  // 0-{0,1}, 1-{0}: greedy 0->0 must be augmented to 0->1, 1->0.
+  BipartiteGraph g(2, 2);
+  g.AddEdge(0, 0);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  auto m = MaxBipartiteMatching(g);
+  EXPECT_EQ(m.size, 2);
+  EXPECT_EQ(m.match_left[1], 0);
+  EXPECT_EQ(m.match_left[0], 1);
+}
+
+TEST(MatchingTest, DeficientSide) {
+  BipartiteGraph g(3, 1);
+  for (int i = 0; i < 3; ++i) g.AddEdge(i, 0);
+  EXPECT_EQ(MaxBipartiteMatching(g).size, 1);
+}
+
+TEST(MatchingTest, DisconnectedNodes) {
+  BipartiteGraph g(2, 2);
+  g.AddEdge(0, 0);
+  auto m = MaxBipartiteMatching(g);
+  EXPECT_EQ(m.size, 1);
+  EXPECT_EQ(m.match_left[1], -1);
+  EXPECT_EQ(m.match_right[1], -1);
+}
+
+TEST(MatchingTest, EmptyGraph) {
+  BipartiteGraph g(0, 0);
+  EXPECT_EQ(MaxBipartiteMatching(g).size, 0);
+}
+
+TEST(MatchingTest, MatchingIsConsistent) {
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<int> d(0, 9);
+  for (int round = 0; round < 20; ++round) {
+    BipartiteGraph g(10, 10);
+    for (int i = 0; i < 25; ++i) g.AddEdge(d(rng), d(rng));
+    auto m = MaxBipartiteMatching(g);
+    int count = 0;
+    for (int l = 0; l < 10; ++l) {
+      if (m.match_left[l] != -1) {
+        EXPECT_EQ(m.match_right[m.match_left[l]], l);
+        ++count;
+      }
+    }
+    EXPECT_EQ(count, m.size);
+  }
+}
+
+TEST(SatTest, TrivialSatisfiable) {
+  ClausalFormula f;
+  f.num_vars = 1;
+  f.clauses = {{Literal::Pos(0)}};
+  auto a = SolveSat(f);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE((*a)[0]);
+}
+
+TEST(SatTest, TrivialUnsatisfiable) {
+  ClausalFormula f;
+  f.num_vars = 1;
+  f.clauses = {{Literal::Pos(0)}, {Literal::Neg(0)}};
+  EXPECT_FALSE(IsSatisfiable(f));
+}
+
+TEST(SatTest, UnitPropagationChain) {
+  // x0, (-x0 v x1), (-x1 v x2), -x2: UNSAT via pure propagation.
+  ClausalFormula f;
+  f.num_vars = 3;
+  f.clauses = {{Literal::Pos(0)},
+               {Literal::Neg(0), Literal::Pos(1)},
+               {Literal::Neg(1), Literal::Pos(2)},
+               {Literal::Neg(2)}};
+  EXPECT_FALSE(IsSatisfiable(f));
+}
+
+TEST(SatTest, EmptyFormulaSatisfiable) {
+  ClausalFormula f;
+  f.num_vars = 3;
+  EXPECT_TRUE(IsSatisfiable(f));
+}
+
+TEST(SatTest, Fig5CnfIsSatisfiable) {
+  ClausalFormula f = PaperFig5Cnf();
+  auto a = SolveSat(f);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE(f.EvalCnf(*a));
+}
+
+TEST(SatTest, SolutionsSatisfyOnRandomFormulas) {
+  std::mt19937 rng(11);
+  for (int round = 0; round < 30; ++round) {
+    ClausalFormula f = RandomClausalFormula(6, 10, 3, rng);
+    auto a = SolveSat(f);
+    if (a.has_value()) {
+      EXPECT_TRUE(f.EvalCnf(*a));
+    } else {
+      // Exhaustive cross-check on 6 variables.
+      for (int mask = 0; mask < 64; ++mask) {
+        std::vector<bool> t(6);
+        for (int i = 0; i < 6; ++i) t[i] = (mask >> i) & 1;
+        EXPECT_FALSE(f.EvalCnf(t));
+      }
+    }
+  }
+}
+
+TEST(DnfTest, SingleClauseNotTautology) {
+  ClausalFormula f;
+  f.num_vars = 1;
+  f.clauses = {{Literal::Pos(0)}};
+  EXPECT_FALSE(IsDnfTautology(f));
+  auto cex = FindDnfCounterexample(f);
+  ASSERT_TRUE(cex.has_value());
+  EXPECT_FALSE(f.EvalDnf(*cex));
+}
+
+TEST(DnfTest, ComplementaryPairIsTautology) {
+  ClausalFormula f;
+  f.num_vars = 1;
+  f.clauses = {{Literal::Pos(0)}, {Literal::Neg(0)}};
+  EXPECT_TRUE(IsDnfTautology(f));
+  EXPECT_FALSE(FindDnfCounterexample(f).has_value());
+}
+
+TEST(DnfTest, EmptyDnfIsNotTautology) {
+  ClausalFormula f;
+  f.num_vars = 2;
+  EXPECT_FALSE(IsDnfTautology(f));
+}
+
+TEST(DnfTest, Fig5DnfIsNotTautology) {
+  // x1 = x2 = false falsifies every conjunct of Fig. 5's DNF reading...
+  ClausalFormula f = PaperFig5Dnf();
+  bool taut = IsDnfTautology(f);
+  // Cross-check exhaustively.
+  bool expect = true;
+  for (int mask = 0; mask < 32 && expect; ++mask) {
+    std::vector<bool> t(5);
+    for (int i = 0; i < 5; ++i) t[i] = (mask >> i) & 1;
+    if (!f.EvalDnf(t)) expect = false;
+  }
+  EXPECT_EQ(taut, expect);
+}
+
+TEST(DnfTest, AgreesWithExhaustiveOnRandom) {
+  std::mt19937 rng(13);
+  for (int round = 0; round < 30; ++round) {
+    ClausalFormula f = RandomClausalFormula(5, 6, 3, rng);
+    bool expect = true;
+    for (int mask = 0; mask < 32 && expect; ++mask) {
+      std::vector<bool> t(5);
+      for (int i = 0; i < 5; ++i) t[i] = (mask >> i) & 1;
+      if (!f.EvalDnf(t)) expect = false;
+    }
+    EXPECT_EQ(IsDnfTautology(f), expect) << f.ToString(false);
+  }
+}
+
+TEST(QbfTest, NoUniversalsReducesToSat) {
+  ForallExistsCnf fe;
+  fe.num_forall = 0;
+  fe.formula.num_vars = 2;
+  fe.formula.clauses = {{Literal::Pos(0), Literal::Pos(1)}};
+  EXPECT_TRUE(SolveForallExists(fe));
+}
+
+TEST(QbfTest, UniversalContradiction) {
+  // forall x0 : x0 — false (x0 = false refutes).
+  ForallExistsCnf fe;
+  fe.num_forall = 1;
+  fe.formula.num_vars = 1;
+  fe.formula.clauses = {{Literal::Pos(0)}};
+  EXPECT_FALSE(SolveForallExists(fe));
+  auto cex = FindForallCounterexample(fe);
+  ASSERT_TRUE(cex.has_value());
+  EXPECT_FALSE((*cex)[0]);
+}
+
+TEST(QbfTest, ExistentialRepair) {
+  // forall x0 exists x1 : (x0 v x1) ^ (-x0 v -x1) — true (x1 = -x0).
+  ForallExistsCnf fe;
+  fe.num_forall = 1;
+  fe.formula.num_vars = 2;
+  fe.formula.clauses = {{Literal::Pos(0), Literal::Pos(1)},
+                        {Literal::Neg(0), Literal::Neg(1)}};
+  EXPECT_TRUE(SolveForallExists(fe));
+}
+
+TEST(QbfTest, Fig5InstanceAgreesWithExhaustive) {
+  ForallExistsCnf fe = PaperFig5ForallExists();
+  bool expect = true;
+  for (int xmask = 0; xmask < 4 && expect; ++xmask) {
+    bool some = false;
+    for (int ymask = 0; ymask < 8 && !some; ++ymask) {
+      std::vector<bool> t(5);
+      t[0] = xmask & 1;
+      t[1] = (xmask >> 1) & 1;
+      for (int i = 0; i < 3; ++i) t[2 + i] = (ymask >> i) & 1;
+      if (fe.formula.EvalCnf(t)) some = true;
+    }
+    if (!some) expect = false;
+  }
+  EXPECT_EQ(SolveForallExists(fe), expect);
+}
+
+TEST(QbfTest, AgreesWithExhaustiveOnRandom) {
+  std::mt19937 rng(17);
+  for (int round = 0; round < 20; ++round) {
+    ForallExistsCnf fe = RandomForallExists(3, 3, 5, rng);
+    bool expect = true;
+    for (int xmask = 0; xmask < 8 && expect; ++xmask) {
+      bool some = false;
+      for (int ymask = 0; ymask < 8 && !some; ++ymask) {
+        std::vector<bool> t(6);
+        for (int i = 0; i < 3; ++i) t[i] = (xmask >> i) & 1;
+        for (int i = 0; i < 3; ++i) t[3 + i] = (ymask >> i) & 1;
+        if (fe.formula.EvalCnf(t)) some = true;
+      }
+      if (!some) expect = false;
+    }
+    EXPECT_EQ(SolveForallExists(fe), expect);
+  }
+}
+
+TEST(ColoringTest, TriangleIsThreeColorable) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  EXPECT_TRUE(IsThreeColorable(g));
+  EXPECT_FALSE(ColorGraph(g, 2).has_value());
+}
+
+TEST(ColoringTest, K4IsNotThreeColorable) {
+  Graph g(4);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a + 1; b < 4; ++b) g.AddEdge(a, b);
+  }
+  EXPECT_FALSE(IsThreeColorable(g));
+  EXPECT_TRUE(ColorGraph(g, 4).has_value());
+}
+
+TEST(ColoringTest, SelfLoopNeverColorable) {
+  Graph g(1);
+  g.AddEdge(0, 0);
+  EXPECT_FALSE(IsThreeColorable(g));
+}
+
+TEST(ColoringTest, PaperFig4aIsThreeColorable) {
+  Graph g = Graph::PaperFig4a();
+  auto coloring = ColorGraph(g, 3);
+  ASSERT_TRUE(coloring.has_value());
+  for (const auto& [a, b] : g.edges()) {
+    EXPECT_NE((*coloring)[a], (*coloring)[b]);
+  }
+}
+
+TEST(ColoringTest, ColoringsAreProperOnRandom) {
+  std::mt19937 rng(19);
+  for (int round = 0; round < 20; ++round) {
+    Graph g = RandomGraph(8, 0.4, rng);
+    auto coloring = ColorGraph(g, 3);
+    if (coloring.has_value()) {
+      for (const auto& [a, b] : g.edges()) {
+        EXPECT_NE((*coloring)[a], (*coloring)[b]);
+      }
+    }
+  }
+}
+
+TEST(ColoringTest, PlantedGraphsAlwaysColorable) {
+  std::mt19937 rng(23);
+  for (int round = 0; round < 10; ++round) {
+    Graph g = RandomThreeColorableGraph(10, 0.5, rng);
+    EXPECT_TRUE(IsThreeColorable(g));
+  }
+}
+
+TEST(GraphTest, AdjacencyListsBothDirections) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  auto adj = g.AdjacencyLists();
+  EXPECT_EQ(adj[0], (std::vector<int>{1}));
+  EXPECT_EQ(adj[1], (std::vector<int>{0}));
+  EXPECT_TRUE(adj[2].empty());
+}
+
+TEST(CnfFormulaTest, EvalCnfAndDnfDiffer) {
+  ClausalFormula f = PaperFig5Cnf();
+  std::vector<bool> all_true(5, true);
+  // CNF reading: clause 5 = (-x1 v -x2 v -x5) is falsified by all-true.
+  EXPECT_FALSE(f.EvalCnf(all_true));
+  // DNF reading: conjunct 1 = x1 ^ x2 ^ x3 is satisfied by all-true.
+  EXPECT_TRUE(f.EvalDnf(all_true));
+}
+
+TEST(CnfFormulaTest, IsThree) {
+  EXPECT_TRUE(PaperFig5Cnf().IsThree());
+  ClausalFormula f;
+  f.num_vars = 1;
+  f.clauses = {{Literal::Pos(0)}};
+  EXPECT_FALSE(f.IsThree());
+}
+
+}  // namespace
+}  // namespace pw

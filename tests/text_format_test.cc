@@ -1,0 +1,142 @@
+// Tests for the c-table text format: parsing, error reporting, formatting,
+// round-trips.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "decision/containment.h"
+#include "tables/text_format.h"
+#include "tables/world_enum.h"
+#include "workload/random_gen.h"
+
+namespace pw {
+namespace {
+
+TEST(TextFormatTest, ParsesMinimalTable) {
+  auto r = ParseCTable("table arity 1\nrow 7\n", nullptr);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.table->arity(), 1);
+  ASSERT_EQ(r.table->num_rows(), 1u);
+  EXPECT_EQ(r.table->row(0).tuple, (Tuple{C(7)}));
+}
+
+TEST(TextFormatTest, ParsesVariablesInOrder) {
+  auto r = ParseCTable("table arity 2\nrow ?a ?b\nrow ?b ?a\n", nullptr);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.table->row(0).tuple, (Tuple{V(0), V(1)}));
+  EXPECT_EQ(r.table->row(1).tuple, (Tuple{V(1), V(0)}));
+}
+
+TEST(TextFormatTest, ParsesGlobalAndLocalConditions) {
+  auto r = ParseCTable(
+      "table arity 1\n"
+      "global ?x != 1 & ?y = 2\n"
+      "row 0 : ?x = ?y\n",
+      nullptr);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.table->global().size(), 2u);
+  EXPECT_EQ(r.table->row(0).local.atoms()[0], Eq(V(0), V(1)));
+}
+
+TEST(TextFormatTest, ParsesNamedConstants) {
+  SymbolTable sym;
+  auto r = ParseCTable("table arity 2\nrow alice eng\n", &sym);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.table->row(0).tuple[0], Term::Const(*sym.Lookup("alice")));
+}
+
+TEST(TextFormatTest, NamedConstantsRequireSymbols) {
+  auto r = ParseCTable("table arity 1\nrow alice\n", nullptr);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("SymbolTable"), std::string::npos);
+}
+
+TEST(TextFormatTest, CommentsAndBlankLinesIgnored) {
+  auto r = ParseCTable(
+      "# header comment\n\ntable arity 1  # trailing\n\nrow 1\n", nullptr);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.table->num_rows(), 1u);
+}
+
+TEST(TextFormatTest, ArityMismatchReported) {
+  auto r = ParseCTable("table arity 2\nrow 1\n", nullptr);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("arity"), std::string::npos);
+  EXPECT_NE(r.error.find("line 2"), std::string::npos);
+}
+
+TEST(TextFormatTest, UnknownDirectiveReported) {
+  auto r = ParseCTable("table arity 1\nbogus 1\n", nullptr);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("bogus"), std::string::npos);
+}
+
+TEST(TextFormatTest, MissingTableHeaderReported) {
+  auto r = ParseCTable("row 1\n", nullptr);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(TextFormatTest, MalformedConditionReported) {
+  auto r = ParseCTable("table arity 1\nrow 1 : ?x ?y\n", nullptr);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(TextFormatTest, DatabaseWithSharedVariables) {
+  auto r = ParseCDatabase(
+      "table arity 1\nrow ?x\ntable arity 1\nrow ?x\n", nullptr);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.database->num_tables(), 2u);
+  // Same variable in both tables: an e-table database.
+  EXPECT_EQ(r.database->Kind(), TableKind::kETable);
+}
+
+TEST(TextFormatTest, SingleTableParserRejectsMultiple) {
+  auto r = ParseCTable("table arity 1\nrow 1\ntable arity 1\nrow 2\n",
+                       nullptr);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(TextFormatTest, FormatRoundTripPreservesStructure) {
+  std::mt19937 rng(7);
+  for (int round = 0; round < 20; ++round) {
+    RandomCTableOptions options;
+    options.arity = 2;
+    options.num_rows = 3;
+    options.num_constants = 4;
+    options.num_variables = 3;
+    options.num_local_atoms = 1;
+    options.num_global_atoms = 1;
+    CTable t = RandomCTable(options, rng);
+    std::string text = FormatCTable(t);
+    auto r = ParseCTable(text, nullptr);
+    ASSERT_TRUE(r.ok()) << r.error << "\n" << text;
+    EXPECT_EQ(r.table->arity(), t.arity());
+    EXPECT_EQ(r.table->num_rows(), t.num_rows());
+    EXPECT_EQ(r.table->Kind(), t.Kind()) << text;
+    // Same set of worlds (variables may be renumbered, so compare by
+    // mutual containment).
+    CDatabase original{t};
+    CDatabase reparsed{*r.table};
+    EXPECT_TRUE(ContainmentSearch(View::Identity(), original,
+                                  View::Identity(), reparsed))
+        << text;
+    EXPECT_TRUE(ContainmentSearch(View::Identity(), reparsed,
+                                  View::Identity(), original))
+        << text;
+  }
+}
+
+TEST(TextFormatTest, FormatWithSymbols) {
+  SymbolTable sym;
+  CTable t(1);
+  t.AddRow(Tuple{sym.Const("alice")});
+  std::string text = FormatCTable(t, &sym);
+  EXPECT_NE(text.find("alice"), std::string::npos);
+  auto r = ParseCTable(text, &sym);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.table->row(0).tuple, t.row(0).tuple);
+}
+
+}  // namespace
+}  // namespace pw

@@ -1,0 +1,115 @@
+// Tests for c-table updates: pointwise world semantics of insert / delete.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "tables/updates.h"
+#include "tables/world_enum.h"
+#include "workload/random_gen.h"
+
+namespace pw {
+namespace {
+
+TEST(UpdatesTest, InsertAddsFactToEveryWorld) {
+  CTable t(1);
+  t.AddRow(Tuple{V(0)});
+  CTable inserted = InsertFact(t, Fact{9});
+  for (const Instance& w : EnumerateWorlds(CDatabase{inserted})) {
+    EXPECT_TRUE(w.relation(0).Contains(Fact{9}));
+  }
+}
+
+TEST(UpdatesTest, DeleteRemovesGroundRow) {
+  CTable t(1);
+  t.AddRow(Tuple{C(1)});
+  t.AddRow(Tuple{C(2)});
+  CTable deleted = DeleteFact(t, Fact{1});
+  auto worlds = EnumerateWorlds(CDatabase{deleted});
+  ASSERT_EQ(worlds.size(), 1u);
+  EXPECT_EQ(worlds[0].relation(0), Relation(1, {{2}}));
+}
+
+TEST(UpdatesTest, DeleteGuardsVariableRow) {
+  CTable t(1);
+  t.AddRow(Tuple{V(0)});
+  CTable deleted = DeleteFact(t, Fact{5});
+  // Worlds: {c} for c != 5, and {} (when x = 5).
+  for (const Instance& w :
+       EnumerateWorlds(CDatabase{deleted}, {{5}, 0})) {
+    EXPECT_FALSE(w.relation(0).Contains(Fact{5}));
+  }
+}
+
+TEST(UpdatesTest, DeleteKeepsNonMatchingRowsUnguarded) {
+  CTable t(2);
+  t.AddRow(Tuple{C(1), V(0)});
+  CTable deleted = DeleteFact(t, Fact{2, 2});
+  ASSERT_EQ(deleted.num_rows(), 1u);
+  EXPECT_TRUE(deleted.row(0).local.IsTautology());
+}
+
+TEST(UpdatesTest, DeleteExpandsMatchableRows) {
+  CTable t(2);
+  t.AddRow(Tuple{V(0), V(1)});
+  CTable deleted = DeleteFact(t, Fact{1, 2});
+  EXPECT_EQ(deleted.num_rows(), 2u);  // one guard per position
+}
+
+TEST(UpdatesTest, ConditionalInsert) {
+  CTable t(1);
+  t.AddRow(Tuple{C(1)});
+  CTable inserted = InsertFactIf(t, Fact{9}, Conjunction{Eq(V(5), C(0))});
+  auto worlds = EnumerateWorlds(CDatabase{inserted});
+  bool with = false, without = false;
+  for (const Instance& w : worlds) {
+    (w.relation(0).Contains(Fact{9}) ? with : without) = true;
+  }
+  EXPECT_TRUE(with);
+  EXPECT_TRUE(without);
+}
+
+class UpdatesPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(UpdatesPropertyTest, PointwiseSemantics) {
+  std::mt19937 rng(GetParam());
+  RandomCTableOptions options;
+  options.arity = 2;
+  options.num_rows = 3;
+  options.num_constants = 3;
+  options.num_variables = 2;
+  options.num_local_atoms = GetParam() % 2;
+  CTable t = RandomCTable(options, rng);
+  std::uniform_int_distribution<int> c(0, 2);
+  Fact f{c(rng), c(rng)};
+
+  // For every valuation: the updated tables' world must equal the plain
+  // world with f added / removed.
+  CTable ins = InsertFact(t, f);
+  CTable del = DeleteFact(t, f);
+  WorldEnumOptions wopts;
+  wopts.extra_constants = {static_cast<ConstId>(f[0]),
+                           static_cast<ConstId>(f[1])};
+  bool ok = true;
+  ForEachSatisfyingValuation(CDatabase{t}, wopts, [&](const Valuation& v) {
+    Relation base = v.Apply(t);
+    Relation with = base;
+    with.Insert(f);
+    Relation without(2);
+    for (const Fact& g : base) {
+      if (g != f) without.Insert(g);
+    }
+    if (v.Apply(ins) != with || v.Apply(del) != without) {
+      ok = false;
+      return false;
+    }
+    return true;
+  });
+  EXPECT_TRUE(ok) << t.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UpdatesPropertyTest, ::testing::Range(1, 25));
+
+}  // namespace
+}  // namespace pw

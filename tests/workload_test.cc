@@ -1,0 +1,123 @@
+// Sanity tests for the seeded random workload generators.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "solvers/graph_color.h"
+#include "workload/random_gen.h"
+
+namespace pw {
+namespace {
+
+TEST(WorkloadTest, RandomGraphRespectsBounds) {
+  std::mt19937 rng(1);
+  Graph g = RandomGraph(10, 0.5, rng);
+  EXPECT_EQ(g.num_nodes(), 10);
+  std::set<std::pair<int, int>> seen;
+  for (const auto& [a, b] : g.edges()) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(b, 10);
+    EXPECT_NE(a, b);  // no self loops
+    EXPECT_TRUE(seen.insert({a, b}).second);  // no duplicates
+  }
+}
+
+TEST(WorkloadTest, RandomGraphEdgeProbabilityExtremes) {
+  std::mt19937 rng(2);
+  EXPECT_EQ(RandomGraph(8, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(RandomGraph(8, 1.0, rng).num_edges(), 28u);  // C(8,2)
+}
+
+TEST(WorkloadTest, PlantedGraphsAreThreeColorable) {
+  std::mt19937 rng(3);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(IsThreeColorable(RandomThreeColorableGraph(9, 0.7, rng)));
+  }
+}
+
+TEST(WorkloadTest, RandomFormulaShape) {
+  std::mt19937 rng(4);
+  ClausalFormula f = RandomClausalFormula(6, 12, 3, rng);
+  EXPECT_EQ(f.num_vars, 6);
+  EXPECT_EQ(f.clauses.size(), 12u);
+  EXPECT_TRUE(f.IsThree());
+  for (const Clause& c : f.clauses) {
+    std::set<int> vars;
+    for (const Literal& lit : c) {
+      EXPECT_GE(lit.var, 0);
+      EXPECT_LT(lit.var, 6);
+      vars.insert(lit.var);
+    }
+    EXPECT_EQ(vars.size(), 3u);  // distinct variables within a clause
+  }
+}
+
+TEST(WorkloadTest, NarrowFormulaAllowsRepeats) {
+  std::mt19937 rng(5);
+  // Fewer variables than clause width: generation must still terminate.
+  ClausalFormula f = RandomClausalFormula(2, 4, 3, rng);
+  EXPECT_EQ(f.clauses.size(), 4u);
+}
+
+TEST(WorkloadTest, ForallExistsSplit) {
+  std::mt19937 rng(6);
+  ForallExistsCnf fe = RandomForallExists(2, 3, 5, rng);
+  EXPECT_EQ(fe.num_forall, 2);
+  EXPECT_EQ(fe.formula.num_vars, 5);
+}
+
+TEST(WorkloadTest, RandomCTableRespectsOptions) {
+  std::mt19937 rng(7);
+  RandomCTableOptions options;
+  options.arity = 3;
+  options.num_rows = 5;
+  options.num_constants = 2;
+  options.num_variables = 2;
+  options.num_global_atoms = 2;
+  options.num_local_atoms = 1;
+  CTable t = RandomCTable(options, rng);
+  EXPECT_EQ(t.arity(), 3);
+  EXPECT_EQ(t.num_rows(), 5u);
+  EXPECT_EQ(t.global().size(), 2u);
+  for (ConstId c : t.Constants()) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, 2);
+  }
+  for (VarId v : t.Variables()) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 2);
+  }
+}
+
+TEST(WorkloadTest, ZeroVariableProbabilityGivesGroundTable) {
+  std::mt19937 rng(8);
+  RandomCTableOptions options;
+  options.arity = 2;
+  options.num_rows = 4;
+  options.variable_probability = 0.0;
+  CTable t = RandomCTable(options, rng);
+  EXPECT_TRUE(t.IsGround());
+}
+
+TEST(WorkloadTest, RandomRelationWithinDomain) {
+  std::mt19937 rng(9);
+  Relation r = RandomRelation(2, 10, 3, rng);
+  EXPECT_EQ(r.arity(), 2);
+  EXPECT_LE(r.size(), 10u);  // duplicates collapse
+  for (ConstId c : r.Constants()) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, 3);
+  }
+}
+
+TEST(WorkloadTest, SeedsAreDeterministic) {
+  std::mt19937 a(42), b(42);
+  Graph ga = RandomGraph(8, 0.5, a);
+  Graph gb = RandomGraph(8, 0.5, b);
+  EXPECT_EQ(ga.edges(), gb.edges());
+}
+
+}  // namespace
+}  // namespace pw
