@@ -12,6 +12,7 @@
 
 #include "bench_util.h"
 #include "decision/possibility.h"
+#include "ilalgebra/ctable_eval.h"
 #include "reductions/datalog_gadget.h"
 #include "reductions/tautology.h"
 #include "solvers/dnf_tautology.h"
@@ -76,6 +77,74 @@ void BM_Thm52_BoundedPosExist_PatternSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_Thm52_BoundedPosExist_PatternSweep)
     ->DenseRange(1, 4)
+    ->Unit(benchmark::kMicrosecond);
+
+// (1'') The engine behind (1), isolated: the Imielinski–Lipski image with
+// the interned-condition fast path vs the raw seed path. The self-join
+// product conjoins |T|^2 pairs of local conditions drawn from a small pool,
+// so conditions repeat heavily — the workload the interner's pairwise And
+// cache and canonicalization are built for. The seed path re-concatenates
+// and re-checks every pair from scratch.
+
+CDatabase RepeatedConditionDb(int rows, std::mt19937& rng) {
+  RandomCTableOptions options;
+  options.arity = 2;
+  options.num_rows = rows;
+  options.num_constants = 3;   // small pools: local conditions repeat
+  options.num_variables = 4;
+  options.num_local_atoms = 2;
+  options.num_global_atoms = 1;
+  options.equality_probability = 0.3;
+  return CDatabase{RandomCTable(options, rng)};
+}
+
+RaQuery SelfJoinQuery() {
+  return {RaExpr::ProjectCols(
+      RaExpr::Select(RaExpr::Product(RaExpr::Rel(0, 2), RaExpr::Rel(0, 2)),
+                     {SelectAtom::Eq(ColOrConst::Col(1), ColOrConst::Col(2))}),
+      {0, 3})};
+}
+
+void BM_Thm52_Image_SeedPath(benchmark::State& state) {
+  auto rng = benchutil::Rng(79);
+  CDatabase db = RepeatedConditionDb(static_cast<int>(state.range(0)), rng);
+  RaQuery q = SelfJoinQuery();
+  CTableEvalOptions options;
+  options.use_interner = false;
+  for (auto _ : state) {
+    auto image = EvalQueryOnCTables(q, db, options);
+    benchmark::DoNotOptimize(image);
+  }
+  state.SetLabel("IL image, raw conjunction path");
+}
+BENCHMARK(BM_Thm52_Image_SeedPath)
+    ->RangeMultiplier(4)
+    ->Range(16, 256)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Thm52_Image_InternedPath(benchmark::State& state) {
+  auto rng = benchutil::Rng(79);
+  CDatabase db = RepeatedConditionDb(static_cast<int>(state.range(0)), rng);
+  RaQuery q = SelfJoinQuery();
+  CTableEvalOptions options;  // default: global interner
+  // Reset the cumulative counters so and_hit_rate reflects only this
+  // range's iterations (the cache contents themselves stay warm, as in a
+  // long-running process).
+  ConditionInterner::Global().ResetStats();
+  for (auto _ : state) {
+    auto image = EvalQueryOnCTables(q, db, options);
+    benchmark::DoNotOptimize(image);
+  }
+  const auto& stats = ConditionInterner::Global().stats();
+  state.counters["and_hit_rate"] =
+      stats.and_calls == 0
+          ? 0.0
+          : static_cast<double>(stats.and_hits) / stats.and_calls;
+  state.SetLabel("IL image, interned + memoized path");
+}
+BENCHMARK(BM_Thm52_Image_InternedPath)
+    ->RangeMultiplier(4)
+    ->Range(16, 256)
     ->Unit(benchmark::kMicrosecond);
 
 // (2) NP for a fixed first order query (3DNF non-tautology).

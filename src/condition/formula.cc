@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "condition/interner.h"
 #include "core/symbol_table.h"
 
 namespace pw {
@@ -110,8 +111,12 @@ std::vector<Conjunction> Formula::ToDnf() const {
 }
 
 bool Formula::Satisfiable() const {
+  // Interner-memoized: DNF expansion produces the same disjuncts over and
+  // over (shared subtrees), so each distinct conjunction's congruence
+  // closure runs once per thread.
+  ConditionInterner& interner = ConditionInterner::Global();
   for (const Conjunction& c : ToDnf()) {
-    if (c.Satisfiable()) return true;
+    if (interner.CachedSatisfiable(c)) return true;
   }
   return false;
 }

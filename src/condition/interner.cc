@@ -1,0 +1,183 @@
+#include "condition/interner.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "condition/binding_env.h"
+
+namespace pw {
+
+ConditionInterner::ConditionInterner() {
+  // Reserve the two sentinel ids. kTrueConj is the empty conjunction;
+  // kFalseConj materializes as {0 != 0}, the paper's encoding of `false`.
+  ConjEntry true_entry;
+  conjs_.push_back(std::move(true_entry));
+  canonical_ids_.emplace(std::vector<AtomId>{}, kTrueConj);
+
+  ConjEntry false_entry;
+  false_entry.atoms.push_back(InternAtom(FalseAtom()));
+  false_entry.canonical = Conjunction{FalseAtom()};
+  conjs_.push_back(std::move(false_entry));
+}
+
+AtomId ConditionInterner::InternAtom(const CondAtom& atom) {
+  auto [it, inserted] =
+      atom_ids_.emplace(atom, static_cast<AtomId>(atoms_.size()));
+  if (inserted) atoms_.push_back(atom);
+  return it->second;
+}
+
+ConjId ConditionInterner::InternCanonical(std::vector<AtomId> ids) {
+  auto it = canonical_ids_.find(ids);
+  if (it != canonical_ids_.end()) {
+    ++stats_.canonical_hits;
+    return it->second;
+  }
+  ConjId id = static_cast<ConjId>(conjs_.size());
+  ConjEntry entry;
+  Conjunction canonical;
+  for (AtomId a : ids) canonical.Add(atoms_[a]);
+  entry.canonical = std::move(canonical);
+  entry.atoms = ids;
+  conjs_.push_back(std::move(entry));
+  canonical_ids_.emplace(std::move(ids), id);
+  return id;
+}
+
+ConjId ConditionInterner::Canonicalize(const Conjunction& conjunction) {
+  // Fast path: without live equality atoms there is no congruence to close.
+  // Over the infinite domain an inequality-only conjunction is satisfiable
+  // iff no atom has identical sides, and its canonical form is just the
+  // sorted, deduplicated nontrivial atoms.
+  bool has_equality = false;
+  std::vector<CondAtom> atoms;
+  atoms.reserve(conjunction.size());
+  for (const CondAtom& a : conjunction.atoms()) {
+    if (IsTriviallyFalse(a)) return kFalseConj;
+    if (IsTriviallyTrue(a)) continue;
+    if (a.is_equality) has_equality = true;
+    atoms.push_back(a);
+  }
+  if (!has_equality) {
+    std::sort(atoms.begin(), atoms.end());
+    atoms.erase(std::unique(atoms.begin(), atoms.end()), atoms.end());
+    std::vector<AtomId> ids;
+    ids.reserve(atoms.size());
+    for (const CondAtom& a : atoms) ids.push_back(InternAtom(a));
+    return InternCanonical(std::move(ids));
+  }
+
+  // Slow path: run the congruence closure in the (capacity-retaining)
+  // scratch environment.
+  scratch_env_.Revert(0);
+  if (!scratch_env_.Assert(conjunction)) return kFalseConj;
+
+  // Map every variable to its class representative: the class constant if
+  // bound, else the least variable of the class (vars is sorted, so the
+  // first same-class hit is the least).
+  std::vector<VarId> vars;
+  for (const CondAtom& a : atoms) {
+    if (a.lhs.is_variable()) vars.push_back(a.lhs.variable());
+    if (a.rhs.is_variable()) vars.push_back(a.rhs.variable());
+  }
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  std::vector<Term> reps;
+  reps.reserve(vars.size());
+  for (VarId v : vars) {
+    if (auto c = scratch_env_.ValueOf(Term::Var(v))) {
+      reps.push_back(Term::Const(*c));
+      continue;
+    }
+    for (VarId w : vars) {
+      if (scratch_env_.SameClass(Term::Var(v), Term::Var(w))) {
+        reps.push_back(Term::Var(w));
+        break;
+      }
+    }
+  }
+  auto rewrite = [&vars, &reps](Term t) {
+    if (t.is_variable()) {
+      auto it = std::lower_bound(vars.begin(), vars.end(), t.variable());
+      if (it != vars.end() && *it == t.variable()) {
+        return reps[it - vars.begin()];
+      }
+    }
+    return t;
+  };
+
+  // Canonical equalities: one `member = representative` atom per non-trivial
+  // class membership. Canonical inequalities: original atoms rewritten
+  // through the representatives (trivially true ones drop; trivially false
+  // ones cannot survive a successful closure).
+  std::vector<CondAtom> canonical;
+  canonical.reserve(atoms.size());
+  for (size_t i = 0; i < vars.size(); ++i) {
+    if (reps[i] != Term::Var(vars[i])) {
+      canonical.push_back(Eq(Term::Var(vars[i]), reps[i]));
+    }
+  }
+  for (const CondAtom& a : atoms) {
+    if (a.is_equality) continue;
+    CondAtom rewritten = Neq(rewrite(a.lhs), rewrite(a.rhs));
+    if (!IsTriviallyTrue(rewritten)) canonical.push_back(rewritten);
+  }
+  std::sort(canonical.begin(), canonical.end());
+  canonical.erase(std::unique(canonical.begin(), canonical.end()),
+                  canonical.end());
+
+  std::vector<AtomId> ids;
+  ids.reserve(canonical.size());
+  for (const CondAtom& a : canonical) ids.push_back(InternAtom(a));
+  return InternCanonical(std::move(ids));
+}
+
+ConjId ConditionInterner::Intern(const Conjunction& conjunction) {
+  ++stats_.intern_calls;
+  if (conjunction.size() == 0) return kTrueConj;
+
+  // The syntactic key is built in a reused scratch buffer so cache hits (the
+  // hot case) do no allocation; only a miss copies the key into the map.
+  scratch_key_.clear();
+  scratch_key_.reserve(conjunction.size());
+  for (const CondAtom& a : conjunction.atoms()) {
+    scratch_key_.push_back(InternAtom(a));
+  }
+  auto it = syntactic_ids_.find(scratch_key_);
+  if (it != syntactic_ids_.end()) {
+    ++stats_.syntactic_hits;
+    return it->second;
+  }
+  ConjId id = Canonicalize(conjunction);
+  syntactic_ids_.emplace(scratch_key_, id);
+  return id;
+}
+
+ConjId ConditionInterner::And(ConjId a, ConjId b) {
+  if (a == kFalseConj || b == kFalseConj) return kFalseConj;
+  if (a == kTrueConj) return b;
+  if (b == kTrueConj) return a;
+  if (a == b) return a;
+
+  ++stats_.and_calls;
+  std::pair<ConjId, ConjId> key{std::min(a, b), std::max(a, b)};
+  auto it = and_cache_.find(key);
+  if (it != and_cache_.end()) {
+    ++stats_.and_hits;
+    return it->second;
+  }
+  // Conjoining two canonical conjunctions can force fresh congruence merges
+  // (e.g. {x = y} AND {y = 3}), so run the full closure on the union.
+  Conjunction merged = conjs_[a].canonical;
+  merged.AddAll(conjs_[b].canonical);
+  ConjId out = Canonicalize(merged);
+  and_cache_.emplace(key, out);
+  return out;
+}
+
+ConditionInterner& ConditionInterner::Global() {
+  static thread_local ConditionInterner interner;
+  return interner;
+}
+
+}  // namespace pw

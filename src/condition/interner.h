@@ -1,0 +1,174 @@
+// Hash-consing of condition atoms and conjunctions into canonical ids.
+//
+// Condition manipulation is the hot path of every algorithm in this codebase:
+// the Imielinski–Lipski algebra conjoins local conditions per row pair, the
+// decision procedures of src/decision/ test satisfiability of (mostly
+// repeated) conjunctions, and Formula::ToDnf multiplies conjunctions out.
+// The same small conditions recur constantly — a product of two c-tables
+// builds |T1| x |T2| conjunctions from only |T1| + |T2| distinct inputs.
+//
+// ConditionInterner gives every semantically distinct conjunction one small
+// integer id (a ConjId). Interning canonicalizes:
+//   - equality atoms are closed under congruence (union-find over terms) and
+//     re-emitted as `member = representative` per equality class, where the
+//     representative is the class constant if bound, else the least variable;
+//   - inequality atoms are rewritten through the representatives, trivially
+//     true ones dropped, then deduplicated;
+//   - atoms are sorted, so equivalent conjunctions get the *same* id.
+// An unsatisfiable conjunction (congruence merges two constants, or a
+// disequality joins a merged class) canonicalizes to the reserved kFalseConj,
+// so satisfiability of an interned conjunction is the O(1) comparison
+// `id != kFalseConj` — the closure runs once per distinct conjunction and the
+// verdict is memoized in the id itself. A second, syntactic cache makes
+// re-interning a conjunction already seen (the common case: the same
+// row.local over and over) a single hash lookup with no closure at all.
+//
+// Conjoining two interned conjunctions (`And`) is memoized pairwise, which is
+// exactly the access pattern of EvalOnCTables' product rule.
+//
+// The interner is append-only and not thread-safe; `Global()` returns a
+// thread-local instance so concurrent evaluators never contend.
+
+#ifndef PW_CONDITION_INTERNER_H_
+#define PW_CONDITION_INTERNER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "condition/atom.h"
+#include "condition/binding_env.h"
+#include "condition/conjunction.h"
+
+namespace pw {
+
+/// Id of an interned atom. Dense, starting at 0.
+using AtomId = uint32_t;
+
+/// Id of an interned (canonicalized) conjunction. Dense, starting at 0.
+using ConjId = uint32_t;
+
+/// Hash for atoms (used by the interner's maps).
+struct CondAtomHash {
+  size_t operator()(const CondAtom& a) const noexcept {
+    uint64_t h = std::hash<Term>()(a.lhs);
+    h = h * 1099511628211ull ^ std::hash<Term>()(a.rhs);
+    return static_cast<size_t>(h * 2ull + (a.is_equality ? 1 : 0));
+  }
+};
+
+class ConditionInterner {
+ public:
+  /// The empty conjunction `true` always interns to this id.
+  static constexpr ConjId kTrueConj = 0;
+
+  /// Every unsatisfiable conjunction interns to this id.
+  static constexpr ConjId kFalseConj = 1;
+
+  ConditionInterner();
+
+  ConditionInterner(const ConditionInterner&) = delete;
+  ConditionInterner& operator=(const ConditionInterner&) = delete;
+
+  /// Hash-conses one atom (exactly as given; atoms are already normalized by
+  /// Eq/Neq so symmetric variants coincide).
+  AtomId InternAtom(const CondAtom& atom);
+
+  /// The atom behind an id.
+  const CondAtom& AtomOf(AtomId id) const { return atoms_[id]; }
+
+  /// Canonicalizes and hash-conses a conjunction. Equivalent conjunctions
+  /// (up to atom order, duplicates, trivial atoms, and equality congruence)
+  /// return the same id; unsatisfiable ones return kFalseConj.
+  ConjId Intern(const Conjunction& conjunction);
+
+  /// The canonical materialized form of an interned conjunction. For
+  /// kFalseConj this is the single-atom conjunction {0 != 0}.
+  const Conjunction& Resolve(ConjId id) const { return conjs_[id].canonical; }
+
+  /// Conjunction of two interned conjunctions, memoized pairwise.
+  ConjId And(ConjId a, ConjId b);
+
+  /// O(1) satisfiability of an interned conjunction (the congruence closure
+  /// ran at intern time).
+  bool Satisfiable(ConjId id) const { return id != kFalseConj; }
+
+  /// Interns, then reads the memoized verdict. Semantically identical to
+  /// `conjunction.Satisfiable()` (the uncached congruence-closure path) but
+  /// repeated queries on equal conjunctions cost one hash lookup.
+  bool CachedSatisfiable(const Conjunction& conjunction) {
+    return Intern(conjunction) != kFalseConj;
+  }
+
+  size_t num_atoms() const { return atoms_.size(); }
+  size_t num_conjunctions() const { return conjs_.size(); }
+
+  /// Cache-effectiveness counters (for benches and tests).
+  struct Stats {
+    uint64_t intern_calls = 0;      // Intern() invocations
+    uint64_t syntactic_hits = 0;    // resolved without running closure
+    uint64_t canonical_hits = 0;    // closure ran, canonical form known
+    uint64_t and_calls = 0;         // And() invocations past trivial cases
+    uint64_t and_hits = 0;          // resolved from the pair cache
+  };
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = {}; }
+
+  /// The thread-local interner used by the library fast paths
+  /// (EvalOnCTables, Formula::Satisfiable, the decision procedures).
+  static ConditionInterner& Global();
+
+ private:
+  struct ConjEntry {
+    std::vector<AtomId> atoms;  // canonical: sorted by atom value, unique
+    Conjunction canonical;      // the same atoms materialized
+  };
+
+  struct IdVecHash {
+    size_t operator()(const std::vector<AtomId>& v) const noexcept {
+      uint64_t h = 1469598103934665603ull;  // FNV-1a
+      for (AtomId id : v) {
+        h ^= id;
+        h *= 1099511628211ull;
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+
+  struct PairHash {
+    size_t operator()(const std::pair<ConjId, ConjId>& p) const noexcept {
+      return static_cast<size_t>(
+          (static_cast<uint64_t>(p.first) << 32) | p.second);
+    }
+  };
+
+  /// Runs the congruence closure on `conjunction` and interns its canonical
+  /// form (kFalseConj when unsatisfiable).
+  ConjId Canonicalize(const Conjunction& conjunction);
+
+  /// Interns an already-canonical sorted atom-id vector.
+  ConjId InternCanonical(std::vector<AtomId> ids);
+
+  std::vector<CondAtom> atoms_;
+  std::unordered_map<CondAtom, AtomId, CondAtomHash> atom_ids_;
+
+  std::vector<ConjEntry> conjs_;
+  // Canonical sorted atom-id vector -> ConjId.
+  std::unordered_map<std::vector<AtomId>, ConjId, IdVecHash> canonical_ids_;
+  // Syntactic (pre-closure, order-sensitive) atom-id vector -> ConjId.
+  std::unordered_map<std::vector<AtomId>, ConjId, IdVecHash> syntactic_ids_;
+  // Unordered pair (min, max) -> And result.
+  std::unordered_map<std::pair<ConjId, ConjId>, ConjId, PairHash> and_cache_;
+
+  // Reused scratch state: the syntactic key buffer and the congruence
+  // environment (reverted to empty after each closure, retaining capacity).
+  std::vector<AtomId> scratch_key_;
+  BindingEnv scratch_env_;
+
+  Stats stats_;
+};
+
+}  // namespace pw
+
+#endif  // PW_CONDITION_INTERNER_H_

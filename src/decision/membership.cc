@@ -5,6 +5,7 @@
 #include <set>
 
 #include "condition/binding_env.h"
+#include "condition/interner.h"
 #include "ilalgebra/ctable_eval.h"
 #include "solvers/bipartite_matching.h"
 #include "tables/world_enum.h"
@@ -257,8 +258,13 @@ bool MembershipSearch(const CDatabase& database, const Instance& instance,
     for (const Fact& f : facts[k]) s.covered[k][f] = 0;
   }
 
+  ConditionInterner& interner = ConditionInterner::Global();
   for (size_t k = 0; k < num_tables; ++k) {
     for (const CRow& row : database.table(k).rows()) {
+      // A row whose local condition is unsatisfiable is "off" in every world
+      // — no task needed (memoized, so repeated searches over the same
+      // tables skip the closure entirely).
+      if (!interner.CachedSatisfiable(row.local)) continue;
       SearchState::RowTask task;
       task.row = &row;
       task.table = k;

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "condition/binding_env.h"
+#include "condition/interner.h"
 #include "ilalgebra/ctable_eval.h"
 #include "ra/properties.h"
 #include "solvers/bipartite_matching.h"
@@ -28,8 +29,11 @@ std::vector<ConstId> PatternConstants(const std::vector<LocatedFact>& pattern) {
 /// c-table whose tuple can unify with it, consistently.
 bool AssignPattern(const CDatabase& image, const Conjunction& global,
                    const std::vector<LocatedFact>& pattern) {
+  ConditionInterner& interner = ConditionInterner::Global();
+  if (!interner.CachedSatisfiable(global)) return false;  // rep empty
+
   BindingEnv env;
-  if (!env.Assert(global)) return false;  // rep empty
+  env.Assert(global);
 
   std::function<bool(size_t)> go = [&](size_t i) {
     if (i == pattern.size()) return true;
@@ -39,6 +43,9 @@ bool AssignPattern(const CDatabase& image, const Conjunction& global,
     if (static_cast<size_t>(table.arity()) != lf.fact.size()) return false;
     for (const CRow& row : table.rows()) {
       if (!Unifiable(row.tuple, lf.fact)) continue;
+      // Memoized fast reject: a row whose local can never hold at all need
+      // not be tried against the environment.
+      if (!interner.CachedSatisfiable(row.local)) continue;
       size_t mark = env.Mark();
       bool ok = true;
       for (size_t p = 0; p < lf.fact.size(); ++p) {

@@ -1,5 +1,6 @@
 #include "decision/uniqueness.h"
 
+#include "condition/interner.h"
 #include "decision/membership.h"
 #include "decision/world_csp.h"
 #include "ilalgebra/ctable_eval.h"
@@ -39,7 +40,9 @@ std::optional<bool> UniqGTables(const CDatabase& database,
   if (database.num_tables() != instance.num_relations()) return false;
 
   Conjunction global = database.CombinedGlobal();
-  if (!global.Satisfiable()) return false;  // rep empty, never a singleton
+  if (!ConditionInterner::Global().CachedSatisfiable(global)) {
+    return false;  // rep empty, never a singleton
+  }
 
   auto canon = global.CanonicalSubstitution();
   for (size_t k = 0; k < database.num_tables(); ++k) {
@@ -96,7 +99,9 @@ std::optional<bool> UniqPosExistentialView(const RaQuery& query,
     for (const CRow& row : rt.rows()) {
       // Positive existential without != yields equality-only conjunctions.
       Conjunction phi = row.local.Simplified();
-      if (!phi.Satisfiable()) continue;  // row can never be on
+      if (!ConditionInterner::Global().CachedSatisfiable(phi)) {
+        continue;  // row can never be on
+      }
       auto subst = phi.CanonicalSubstitution();
       CTable t_ti(rt.arity());
       for (const CRow& r2 : rt.rows()) t_ti.AddRow(r2.tuple);

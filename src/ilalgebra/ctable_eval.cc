@@ -1,5 +1,7 @@
 #include "ilalgebra/ctable_eval.h"
 
+#include <vector>
+
 namespace pw {
 
 namespace {
@@ -20,10 +22,117 @@ bool ApplySelectAtom(const SelectAtom& atom, const Tuple& tuple,
   return true;
 }
 
-}  // namespace
+// --- Interned fast path ----------------------------------------------------
+//
+// Local conditions travel as ConjIds through the whole expression tree and
+// are materialized exactly once at the end; every conjoin is a memoized
+// pairwise And, and rows whose condition canonicalizes to false disappear on
+// the spot. Since ids are canonical, the |T1| x |T2| pair loop of a product
+// touches only |distinct(T1)| x |distinct(T2)| closures.
 
-std::optional<CTable> EvalOnCTables(const RaExpr& expr,
-                                    const CDatabase& database) {
+struct InternedRow {
+  Tuple tuple;
+  ConjId cond;
+};
+
+struct InternedTable {
+  int arity = 0;
+  std::vector<InternedRow> rows;
+};
+
+std::optional<InternedTable> EvalInterned(const RaExpr& expr,
+                                          const CDatabase& database,
+                                          ConditionInterner& interner) {
+  switch (expr.op()) {
+    case RaOp::kRel: {
+      InternedTable out{expr.arity(), {}};
+      const CTable& in = database.table(expr.rel_index());
+      out.rows.reserve(in.num_rows());
+      for (const CRow& row : in.rows()) {
+        ConjId cond = interner.Intern(row.local);
+        if (!interner.Satisfiable(cond)) continue;
+        out.rows.push_back({row.tuple, cond});
+      }
+      return out;
+    }
+    case RaOp::kConstRel: {
+      InternedTable out{expr.arity(), {}};
+      for (const Fact& f : expr.const_relation()) {
+        out.rows.push_back({ToTuple(f), ConditionInterner::kTrueConj});
+      }
+      return out;
+    }
+    case RaOp::kProject: {
+      auto in = EvalInterned(expr.input(), database, interner);
+      if (!in) return std::nullopt;
+      InternedTable out{expr.arity(), {}};
+      out.rows.reserve(in->rows.size());
+      for (InternedRow& row : in->rows) {
+        Tuple t;
+        t.reserve(expr.outputs().size());
+        for (const ColOrConst& o : expr.outputs()) {
+          t.push_back(ResolveTerm(o, row.tuple));
+        }
+        out.rows.push_back({std::move(t), row.cond});
+      }
+      return out;
+    }
+    case RaOp::kSelect: {
+      auto in = EvalInterned(expr.input(), database, interner);
+      if (!in) return std::nullopt;
+      InternedTable out{expr.arity(), {}};
+      for (InternedRow& row : in->rows) {
+        Conjunction sel;
+        bool keep = true;
+        for (const SelectAtom& a : expr.atoms()) {
+          if (!ApplySelectAtom(a, row.tuple, sel)) {
+            keep = false;
+            break;
+          }
+        }
+        if (!keep) continue;
+        ConjId combined = interner.And(row.cond, interner.Intern(sel));
+        if (!interner.Satisfiable(combined)) continue;  // row never on
+        out.rows.push_back({std::move(row.tuple), combined});
+      }
+      return out;
+    }
+    case RaOp::kProduct: {
+      auto l = EvalInterned(expr.left(), database, interner);
+      auto r = EvalInterned(expr.right(), database, interner);
+      if (!l || !r) return std::nullopt;
+      InternedTable out{expr.arity(), {}};
+      for (const InternedRow& rl : l->rows) {
+        for (const InternedRow& rr : r->rows) {
+          ConjId combined = interner.And(rl.cond, rr.cond);
+          if (!interner.Satisfiable(combined)) continue;
+          Tuple t = rl.tuple;
+          t.insert(t.end(), rr.tuple.begin(), rr.tuple.end());
+          out.rows.push_back({std::move(t), combined});
+        }
+      }
+      return out;
+    }
+    case RaOp::kUnion: {
+      auto l = EvalInterned(expr.left(), database, interner);
+      auto r = EvalInterned(expr.right(), database, interner);
+      if (!l || !r) return std::nullopt;
+      InternedTable out{expr.arity(), std::move(l->rows)};
+      out.rows.insert(out.rows.end(),
+                      std::make_move_iterator(r->rows.begin()),
+                      std::make_move_iterator(r->rows.end()));
+      return out;
+    }
+    case RaOp::kDiff:
+      return std::nullopt;  // not positive existential
+  }
+  return std::nullopt;
+}
+
+// --- Plain seed path -------------------------------------------------------
+
+std::optional<CTable> EvalPlain(const RaExpr& expr,
+                                const CDatabase& database) {
   switch (expr.op()) {
     case RaOp::kRel: {
       CTable out(expr.arity());
@@ -37,7 +146,7 @@ std::optional<CTable> EvalOnCTables(const RaExpr& expr,
       return out;
     }
     case RaOp::kProject: {
-      auto in = EvalOnCTables(expr.input(), database);
+      auto in = EvalPlain(expr.input(), database);
       if (!in) return std::nullopt;
       CTable out(expr.arity());
       for (const CRow& row : in->rows()) {
@@ -51,7 +160,7 @@ std::optional<CTable> EvalOnCTables(const RaExpr& expr,
       return out;
     }
     case RaOp::kSelect: {
-      auto in = EvalOnCTables(expr.input(), database);
+      auto in = EvalPlain(expr.input(), database);
       if (!in) return std::nullopt;
       CTable out(expr.arity());
       for (const CRow& row : in->rows()) {
@@ -68,8 +177,8 @@ std::optional<CTable> EvalOnCTables(const RaExpr& expr,
       return out;
     }
     case RaOp::kProduct: {
-      auto l = EvalOnCTables(expr.left(), database);
-      auto r = EvalOnCTables(expr.right(), database);
+      auto l = EvalPlain(expr.left(), database);
+      auto r = EvalPlain(expr.right(), database);
       if (!l || !r) return std::nullopt;
       CTable out(expr.arity());
       for (const CRow& rl : l->rows()) {
@@ -82,8 +191,8 @@ std::optional<CTable> EvalOnCTables(const RaExpr& expr,
       return out;
     }
     case RaOp::kUnion: {
-      auto l = EvalOnCTables(expr.left(), database);
-      auto r = EvalOnCTables(expr.right(), database);
+      auto l = EvalPlain(expr.left(), database);
+      auto r = EvalPlain(expr.right(), database);
       if (!l || !r) return std::nullopt;
       CTable out(expr.arity());
       for (const CRow& row : l->rows()) out.AddRow(row.tuple, row.local);
@@ -96,11 +205,30 @@ std::optional<CTable> EvalOnCTables(const RaExpr& expr,
   return std::nullopt;
 }
 
+}  // namespace
+
+std::optional<CTable> EvalOnCTables(const RaExpr& expr,
+                                    const CDatabase& database,
+                                    const CTableEvalOptions& options) {
+  if (!options.use_interner) return EvalPlain(expr, database);
+  ConditionInterner& interner = options.interner != nullptr
+                                    ? *options.interner
+                                    : ConditionInterner::Global();
+  auto interned = EvalInterned(expr, database, interner);
+  if (!interned) return std::nullopt;
+  CTable out(interned->arity);
+  for (InternedRow& row : interned->rows) {
+    out.AddRow(std::move(row.tuple), interner.Resolve(row.cond));
+  }
+  return out;
+}
+
 std::optional<CDatabase> EvalQueryOnCTables(const RaQuery& query,
-                                            const CDatabase& database) {
+                                            const CDatabase& database,
+                                            const CTableEvalOptions& options) {
   CDatabase out;
   for (size_t i = 0; i < query.size(); ++i) {
-    auto table = EvalOnCTables(query[i], database);
+    auto table = EvalOnCTables(query[i], database, options);
     if (!table) return std::nullopt;
     if (i == 0) table->SetGlobal(database.CombinedGlobal());
     out.AddTable(std::move(*table));

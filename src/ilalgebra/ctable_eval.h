@@ -26,10 +26,28 @@
 
 #include <optional>
 
+#include "condition/interner.h"
 #include "ra/expr.h"
 #include "tables/ctable.h"
 
 namespace pw {
+
+/// Evaluation knobs. The default routes every conjoin of local conditions
+/// through the executing thread's global ConditionInterner: combined
+/// conditions are memoized pairwise, canonicalized (sorted, deduplicated,
+/// equality-congruence closed), and rows whose local condition can never
+/// hold are dropped on the spot. Both paths produce tables with the same
+/// rep(); the interned one is what the decision procedures consume.
+struct CTableEvalOptions {
+  /// False selects the plain path (raw conjunction concatenation, no
+  /// pruning) — chiefly for differential tests and benchmarks.
+  bool use_interner = true;
+
+  /// Optional interner override. Leave null to use the executing thread's
+  /// ConditionInterner::Global() (interners are not thread-safe, so the
+  /// override must not be shared across threads).
+  ConditionInterner* interner = nullptr;
+};
 
 /// Evaluates one positive existential expression on a c-database, producing
 /// a c-table whose rep is the image of rep(database) under the expression
@@ -38,14 +56,16 @@ namespace pw {
 /// not positive existential (contains difference). != select atoms are
 /// allowed (they become inequality atoms in local conditions).
 std::optional<CTable> EvalOnCTables(const RaExpr& expr,
-                                    const CDatabase& database);
+                                    const CDatabase& database,
+                                    const CTableEvalOptions& options = {});
 
 /// Evaluates a whole query. The resulting c-database carries the input's
 /// combined global condition (attached to its first table, or to an empty
 /// sentinel table when the query is empty). Returns std::nullopt if any
 /// expression is not positive existential.
-std::optional<CDatabase> EvalQueryOnCTables(const RaQuery& query,
-                                            const CDatabase& database);
+std::optional<CDatabase> EvalQueryOnCTables(
+    const RaQuery& query, const CDatabase& database,
+    const CTableEvalOptions& options = {});
 
 }  // namespace pw
 

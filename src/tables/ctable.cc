@@ -4,6 +4,7 @@
 #include <cassert>
 #include <set>
 
+#include "condition/interner.h"
 #include "core/instance.h"
 #include "core/symbol_table.h"
 
@@ -128,7 +129,7 @@ CTable CTable::Substitute(
 }
 
 CTable CTable::Normalized() const {
-  if (!global_.Satisfiable()) {
+  if (!ConditionInterner::Global().CachedSatisfiable(global_)) {
     CTable out(arity_);
     out.SetGlobal(Conjunction{FalseAtom()});
     return out;
@@ -145,15 +146,20 @@ CTable CTable::Normalized() const {
 }
 
 CTable CTable::Minimized() const {
+  ConditionInterner& interner = ConditionInterner::Global();
   CTable normalized = Normalized();
-  if (!normalized.global().Satisfiable()) return normalized;
+  if (!interner.CachedSatisfiable(normalized.global())) return normalized;
 
   // Drop local atoms implied by the global condition; drop rows whose local
-  // condition is inconsistent with it.
+  // condition is inconsistent with it. The global's interned id is fixed
+  // across the loop, so each distinct local costs one memoized And.
+  ConjId global_id = interner.Intern(normalized.global());
   std::vector<CRow> kept;
   for (const CRow& row : normalized.rows()) {
-    Conjunction combined = Conjunction::And(normalized.global(), row.local);
-    if (!combined.Satisfiable()) continue;
+    if (!interner.Satisfiable(
+            interner.And(global_id, interner.Intern(row.local)))) {
+      continue;
+    }
     Conjunction simplified = row.local.Simplified();
     Conjunction local;
     for (const CondAtom& atom : simplified.atoms()) {

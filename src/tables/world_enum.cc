@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "condition/interner.h"
+
 namespace pw {
 
 namespace {
@@ -147,7 +149,8 @@ size_t CountDistinctWorlds(const CDatabase& database,
 }
 
 bool RepIsEmpty(const CDatabase& database) {
-  return !database.CombinedGlobal().Satisfiable();
+  return !ConditionInterner::Global().CachedSatisfiable(
+      database.CombinedGlobal());
 }
 
 }  // namespace pw

@@ -8,6 +8,7 @@
 
 #include "decision/certainty.h"
 #include "tables/world_enum.h"
+#include "test_util.h"
 #include "workload/random_gen.h"
 
 namespace pw {
@@ -98,12 +99,9 @@ TEST(CertaintyTest, CertaintyImpliesPossibilityNotConverse) {
 TEST(CertaintyTest, FactwiseReductionAgrees) {
   std::mt19937 rng(31);
   for (int round = 0; round < 20; ++round) {
-    RandomCTableOptions options;
-    options.arity = 1;
-    options.num_rows = 3;
-    options.num_constants = 2;
-    options.num_variables = 2;
-    options.num_local_atoms = 1;
+    RandomCTableOptions options = testutil::SmallCTableOptions(
+        /*arity=*/1, /*num_rows=*/3, /*num_constants=*/2, /*num_variables=*/2,
+        /*num_local_atoms=*/1);
     CTable t = RandomCTable(options, rng);
     CDatabase db{t};
     std::vector<LocatedFact> pattern = {{0, {0}}, {0, {1}}};
@@ -136,13 +134,9 @@ class CertaintyPropertyTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(CertaintyPropertyTest, DispatcherAgreesWithOracle) {
   std::mt19937 rng(GetParam());
-  RandomCTableOptions options;
-  options.arity = 2;
-  options.num_rows = 3;
-  options.num_constants = 3;
-  options.num_variables = 3;
-  options.num_local_atoms = GetParam() % 2;
-  options.num_global_atoms = GetParam() % 2;
+  RandomCTableOptions options = testutil::SmallCTableOptions(
+      /*arity=*/2, /*num_rows=*/3, /*num_constants=*/3, /*num_variables=*/3,
+      /*num_local_atoms=*/GetParam() % 2, /*num_global_atoms=*/GetParam() % 2);
   CTable t = RandomCTable(options, rng);
   CDatabase db{t};
 
@@ -162,12 +156,9 @@ TEST(CertDatalogAgreementTest, FastPathAgreesWithOracleOnGTables) {
   std::mt19937 rng(303);
   View q = View::Datalog(TransitiveClosure(), {1});
   for (int round = 0; round < 20; ++round) {
-    RandomCTableOptions options;
-    options.arity = 2;
-    options.num_rows = 3;
-    options.num_constants = 3;
-    options.num_variables = 2;
-    options.num_global_atoms = round % 2;
+    RandomCTableOptions options = testutil::SmallCTableOptions(
+        /*arity=*/2, /*num_rows=*/3, /*num_constants=*/3, /*num_variables=*/2,
+        /*num_local_atoms=*/0, /*num_global_atoms=*/round % 2);
     CTable t = RandomCTable(options, rng);
     CDatabase db{t};
     if (RepIsEmpty(db)) continue;

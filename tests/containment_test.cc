@@ -10,6 +10,7 @@
 #include "decision/containment.h"
 #include "decision/membership.h"
 #include "tables/world_enum.h"
+#include "test_util.h"
 #include "workload/random_gen.h"
 
 namespace pw {
@@ -47,12 +48,10 @@ TEST(FreezeTest, ForcedConstantsRespected) {
 TEST(FreezeTest, FrozenInstanceIsAMember) {
   std::mt19937 rng(42);
   for (int round = 0; round < 20; ++round) {
-    RandomCTableOptions options;
-    options.arity = 2;
-    options.num_rows = 3;
-    options.num_constants = 2;
-    options.num_variables = 3;
-    options.num_global_atoms = 1;
+    RandomCTableOptions options =
+        testutil::SmallCTableOptions(/*arity=*/2, /*num_rows=*/3,
+            /*num_constants=*/2, /*num_variables=*/3, /*num_local_atoms=*/0,
+            /*num_global_atoms=*/1);
     options.equality_probability = 0.3;
     CTable t = RandomCTable(options, rng);
     if (t.Kind() > TableKind::kGTable) continue;
@@ -170,12 +169,10 @@ TEST(ContainmentSearchTest, FreezingWouldBeWrongForITableRhs) {
 TEST(ContainmentDispatcherTest, MatchesSearchOnRandomGTablePairs) {
   std::mt19937 rng(7);
   for (int round = 0; round < 25; ++round) {
-    RandomCTableOptions options;
-    options.arity = 1;
-    options.num_rows = 2;
-    options.num_constants = 2;
-    options.num_variables = 2;
-    options.num_global_atoms = round % 2;
+    RandomCTableOptions options =
+        testutil::SmallCTableOptions(/*arity=*/1, /*num_rows=*/2,
+            /*num_constants=*/2, /*num_variables=*/2, /*num_local_atoms=*/0,
+            /*num_global_atoms=*/round % 2);
     options.equality_probability = 0.4;
     CTable a = RandomCTable(options, rng);
     options.num_global_atoms = 0;
@@ -276,13 +273,11 @@ class ContainmentPropertyTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(ContainmentPropertyTest, SearchAgreesWithOracle) {
   std::mt19937 rng(GetParam());
-  RandomCTableOptions options;
-  options.arity = 1;
-  options.num_rows = 2;
-  options.num_constants = 2;
-  options.num_variables = 2;
-  options.num_local_atoms = GetParam() % 2;
-  options.num_global_atoms = GetParam() % 2;
+  RandomCTableOptions options =
+      testutil::SmallCTableOptions(/*arity=*/1, /*num_rows=*/2,
+          /*num_constants=*/2, /*num_variables=*/2,
+          /*num_local_atoms=*/GetParam() % 2,
+          /*num_global_atoms=*/GetParam() % 2);
   CTable a = RandomCTable(options, rng);
   CTable b = RandomCTable(options, rng);
   CDatabase lhs{a}, rhs{b};

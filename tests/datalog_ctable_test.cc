@@ -8,6 +8,7 @@
 #include "ilalgebra/datalog_ctable.h"
 #include "datalog/eval.h"
 #include "tables/world_enum.h"
+#include "test_util.h"
 #include "workload/random_gen.h"
 
 namespace pw {
@@ -111,13 +112,11 @@ class DatalogCTablePropertyTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(DatalogCTablePropertyTest, RepresentsFixpointOfEveryWorld) {
   std::mt19937 rng(GetParam());
-  RandomCTableOptions options;
-  options.arity = 2;
-  options.num_rows = 3;
-  options.num_constants = 3;
-  options.num_variables = 2;
-  options.num_local_atoms = GetParam() % 2;
-  options.num_global_atoms = GetParam() % 2;
+  RandomCTableOptions options =
+      testutil::SmallCTableOptions(/*arity=*/2, /*num_rows=*/3,
+          /*num_constants=*/3, /*num_variables=*/2,
+          /*num_local_atoms=*/GetParam() % 2,
+          /*num_global_atoms=*/GetParam() % 2);
   CTable t = RandomCTable(options, rng);
   CDatabase db{t};
   DatalogProgram tc = TransitiveClosure();

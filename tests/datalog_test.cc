@@ -10,6 +10,7 @@
 #include "datalog/eval.h"
 #include "datalog/program.h"
 #include "tables/world_enum.h"
+#include "test_util.h"
 #include "workload/random_gen.h"
 
 namespace pw {
@@ -185,12 +186,10 @@ TEST(DatalogCertainTest, AgreesWithWorldEnumerationOnRandomGTables) {
   std::mt19937 rng(29);
   DatalogProgram tc = TransitiveClosure();
   for (int round = 0; round < 15; ++round) {
-    RandomCTableOptions options;
-    options.arity = 2;
-    options.num_rows = 3;
-    options.num_constants = 3;
-    options.num_variables = 2;
-    options.num_global_atoms = 1;
+    RandomCTableOptions options =
+        testutil::SmallCTableOptions(/*arity=*/2, /*num_rows=*/3,
+            /*num_constants=*/3, /*num_variables=*/2, /*num_local_atoms=*/0,
+            /*num_global_atoms=*/1);
     CTable t = RandomCTable(options, rng);
     CDatabase db{t};
     if (RepIsEmpty(db)) continue;

@@ -10,6 +10,7 @@
 #include "ilalgebra/ctable_eval.h"
 #include "ra/eval.h"
 #include "tables/world_enum.h"
+#include "test_util.h"
 #include "workload/random_gen.h"
 
 namespace pw {
@@ -84,87 +85,19 @@ TEST(IlAlgebraTest, QueryCarriesGlobalCondition) {
 }
 
 // --- The representation-system property, randomized ----------------------
-
-/// Renders a world canonically up to renaming of constants outside `known`:
-/// tries every permutation of placeholder names for the fresh constants and
-/// keeps the lexicographically least rendering. (Worlds in these tests carry
-/// at most a handful of fresh constants.)
-std::string CanonicalWorldString(const Instance& world,
-                                 const std::vector<ConstId>& known) {
-  std::vector<ConstId> fresh;
-  for (ConstId c : world.Constants()) {
-    if (std::find(known.begin(), known.end(), c) == known.end()) {
-      fresh.push_back(c);
-    }
-  }
-  if (fresh.empty()) return world.ToString();
-  std::vector<ConstId> placeholders;
-  for (size_t i = 0; i < fresh.size(); ++i) {
-    placeholders.push_back(900000 + static_cast<ConstId>(i));
-  }
-  std::sort(fresh.begin(), fresh.end());
-  std::string best;
-  do {
-    std::vector<Relation> renamed;
-    for (size_t p = 0; p < world.num_relations(); ++p) {
-      Relation r(world.relation(p).arity());
-      for (Fact f : world.relation(p)) {
-        for (ConstId& c : f) {
-          auto it = std::find(fresh.begin(), fresh.end(), c);
-          if (it != fresh.end()) {
-            c = placeholders[it - fresh.begin()];
-          }
-        }
-        r.Insert(f);
-      }
-      renamed.push_back(std::move(r));
-    }
-    std::string s = Instance(std::move(renamed)).ToString();
-    if (best.empty() || s < best) best = s;
-  } while (std::next_permutation(fresh.begin(), fresh.end()));
-  return best;
-}
-
-std::vector<std::string> CanonicalWorlds(const CDatabase& db,
-                                         const std::vector<ConstId>& extra) {
-  WorldEnumOptions options;
-  options.extra_constants = extra;
-  std::vector<std::string> out;
-  ForEachWorld(db, options, [&](const Instance& world, const Valuation&) {
-    out.push_back(CanonicalWorldString(world, extra));
-    return true;
-  });
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
-}
-
-std::vector<std::string> CanonicalImageWorlds(
-    const RaQuery& q, const CDatabase& db,
-    const std::vector<ConstId>& extra) {
-  WorldEnumOptions options;
-  options.extra_constants = extra;
-  std::vector<std::string> out;
-  ForEachWorld(db, options, [&](const Instance& world, const Valuation&) {
-    out.push_back(CanonicalWorldString(EvalQuery(q, world), extra));
-    return true;
-  });
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
-}
+// (Canonical world rendering and the per-world oracle live in test_util.h;
+// tests/differential_test.cc runs the same identity at scale over random
+// queries.)
 
 class IlAlgebraPropertyTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(IlAlgebraPropertyTest, ImageRepresentsQueryOfWorlds) {
+  using testutil::CanonicalImageWorlds;
+  using testutil::CanonicalWorlds;
   std::mt19937 rng(GetParam());
-  RandomCTableOptions options;
-  options.arity = 2;
-  options.num_rows = 3;
-  options.num_constants = 2;
-  options.num_variables = 2;
-  options.num_local_atoms = 1;
-  options.num_global_atoms = 1;
+  RandomCTableOptions options = testutil::SmallCTableOptions(
+      /*arity=*/2, /*num_rows=*/3, /*num_constants=*/2, /*num_variables=*/2,
+      /*num_local_atoms=*/1, /*num_global_atoms=*/1);
   CTable t = RandomCTable(options, rng);
   CDatabase db{t};
 

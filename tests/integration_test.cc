@@ -16,6 +16,7 @@
 #include "tables/text_format.h"
 #include "tables/updates.h"
 #include "tables/world_enum.h"
+#include "test_util.h"
 #include "workload/random_gen.h"
 
 namespace pw {
@@ -23,13 +24,10 @@ namespace {
 
 CTable SmallRandom(int seed) {
   std::mt19937 rng(seed);
-  RandomCTableOptions options;
-  options.arity = 2;
-  options.num_rows = 3;
-  options.num_constants = 3;
-  options.num_variables = 2;
-  options.num_local_atoms = seed % 2;
-  options.num_global_atoms = seed % 2;
+  RandomCTableOptions options =
+      testutil::SmallCTableOptions(/*arity=*/2, /*num_rows=*/3,
+          /*num_constants=*/3, /*num_variables=*/2,
+          /*num_local_atoms=*/seed % 2, /*num_global_atoms=*/seed % 2);
   return RandomCTable(options, rng);
 }
 

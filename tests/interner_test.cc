@@ -1,0 +1,183 @@
+// Unit tests for the condition interner: atom hash-consing, conjunction
+// canonicalization (equality-atom orientation and congruence, duplicate
+// atoms), the memoized And, and agreement of the memoized satisfiability
+// verdict with the uncached congruence-closure path.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "condition/interner.h"
+#include "core/tuple.h"
+#include "test_util.h"
+#include "workload/random_gen.h"
+
+namespace pw {
+namespace {
+
+TEST(InternerTest, AtomsAreHashConsed) {
+  ConditionInterner interner;
+  AtomId a = interner.InternAtom(Eq(V(1), V(2)));
+  AtomId b = interner.InternAtom(Eq(V(2), V(1)));  // Eq normalizes orientation
+  AtomId c = interner.InternAtom(Neq(V(1), V(2)));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(interner.AtomOf(a), Eq(V(1), V(2)));
+}
+
+TEST(InternerTest, TrueAndFalseAreReserved) {
+  ConditionInterner interner;
+  EXPECT_EQ(interner.Intern(Conjunction()), ConditionInterner::kTrueConj);
+  EXPECT_EQ(interner.Intern(Conjunction{FalseAtom()}),
+            ConditionInterner::kFalseConj);
+  EXPECT_TRUE(interner.Satisfiable(ConditionInterner::kTrueConj));
+  EXPECT_FALSE(interner.Satisfiable(ConditionInterner::kFalseConj));
+  EXPECT_EQ(interner.Resolve(ConditionInterner::kTrueConj), Conjunction());
+}
+
+TEST(InternerTest, AtomOrderAndDuplicatesDoNotMatter) {
+  ConditionInterner interner;
+  Conjunction a{Eq(V(0), C(1)), Neq(V(2), C(3))};
+  Conjunction b{Neq(V(2), C(3)), Eq(V(0), C(1)), Eq(V(0), C(1))};
+  EXPECT_EQ(interner.Intern(a), interner.Intern(b));
+}
+
+TEST(InternerTest, TriviallyTrueAtomsDrop) {
+  ConditionInterner interner;
+  Conjunction a{Eq(V(0), V(0)), Eq(C(2), C(2)), Neq(C(1), C(2))};
+  EXPECT_EQ(interner.Intern(a), ConditionInterner::kTrueConj);
+}
+
+TEST(InternerTest, EqualityCongruenceCanonicalizes) {
+  ConditionInterner interner;
+  // {x0 = x1, x1 = 3} and {x1 = 3, x0 = 3} force the same classes.
+  Conjunction a{Eq(V(0), V(1)), Eq(V(1), C(3))};
+  Conjunction b{Eq(V(1), C(3)), Eq(V(0), C(3))};
+  EXPECT_EQ(interner.Intern(a), interner.Intern(b));
+  // Canonical form binds each variable to the class constant.
+  const Conjunction& canonical = interner.Resolve(interner.Intern(a));
+  EXPECT_EQ(canonical, (Conjunction{Eq(V(0), C(3)), Eq(V(1), C(3))}));
+}
+
+TEST(InternerTest, VariableClassesUseLeastRepresentative) {
+  ConditionInterner interner;
+  // {x2 = x1, x1 = x0} == {x0 = x2, x0 = x1}: representative is x0.
+  Conjunction a{Eq(V(2), V(1)), Eq(V(1), V(0))};
+  Conjunction b{Eq(V(0), V(2)), Eq(V(0), V(1))};
+  EXPECT_EQ(interner.Intern(a), interner.Intern(b));
+  const Conjunction& canonical = interner.Resolve(interner.Intern(a));
+  EXPECT_EQ(canonical, (Conjunction{Eq(V(1), V(0)), Eq(V(2), V(0))}));
+}
+
+TEST(InternerTest, InequalitiesRewriteThroughRepresentatives) {
+  ConditionInterner interner;
+  // x0 = x1 makes x1 != x2 the same as x0 != x2.
+  Conjunction a{Eq(V(0), V(1)), Neq(V(1), V(2))};
+  Conjunction b{Eq(V(0), V(1)), Neq(V(0), V(2))};
+  EXPECT_EQ(interner.Intern(a), interner.Intern(b));
+}
+
+TEST(InternerTest, UnsatisfiableConjunctionsShareFalse) {
+  ConditionInterner interner;
+  EXPECT_EQ(interner.Intern(Conjunction{Eq(V(0), C(1)), Eq(V(0), C(2))}),
+            ConditionInterner::kFalseConj);
+  EXPECT_EQ(interner.Intern(Conjunction{Neq(V(3), V(3))}),
+            ConditionInterner::kFalseConj);
+  EXPECT_EQ(
+      interner.Intern(Conjunction{Eq(V(0), V(1)), Neq(V(1), V(0))}),
+      ConditionInterner::kFalseConj);
+}
+
+TEST(InternerTest, AndIsMemoizedAndCorrect) {
+  ConditionInterner interner;
+  ConjId a = interner.Intern(Conjunction{Eq(V(0), V(1))});
+  ConjId b = interner.Intern(Conjunction{Eq(V(1), C(3))});
+  ConjId ab = interner.And(a, b);
+  // The conjoin forces the full closure {x0 = 3, x1 = 3}.
+  EXPECT_EQ(ab, interner.Intern(Conjunction{Eq(V(0), C(3)), Eq(V(1), C(3))}));
+  // Trivial cases.
+  EXPECT_EQ(interner.And(a, ConditionInterner::kTrueConj), a);
+  EXPECT_EQ(interner.And(ConditionInterner::kFalseConj, a),
+            ConditionInterner::kFalseConj);
+  EXPECT_EQ(interner.And(a, a), a);
+  // Commutative pair cache: the second query in either order is a hit.
+  interner.ResetStats();
+  EXPECT_EQ(interner.And(b, a), ab);
+  EXPECT_EQ(interner.stats().and_hits, 1u);
+}
+
+TEST(InternerTest, AndDetectsContradictionAcrossOperands) {
+  ConditionInterner interner;
+  ConjId a = interner.Intern(Conjunction{Eq(V(0), C(1))});
+  ConjId b = interner.Intern(Conjunction{Eq(V(0), C(2))});
+  EXPECT_EQ(interner.And(a, b), ConditionInterner::kFalseConj);
+  ConjId c = interner.Intern(Conjunction{Neq(V(0), C(1))});
+  EXPECT_EQ(interner.And(a, c), ConditionInterner::kFalseConj);
+}
+
+TEST(InternerTest, SyntacticCacheShortCircuitsRepeats) {
+  ConditionInterner interner;
+  Conjunction c{Eq(V(0), C(1)), Neq(V(1), C(2))};
+  ConjId first = interner.Intern(c);
+  interner.ResetStats();
+  EXPECT_EQ(interner.Intern(c), first);
+  EXPECT_EQ(interner.stats().syntactic_hits, 1u);
+}
+
+TEST(InternerTest, MemoizedSatisfiabilityAgreesWithUncachedPath) {
+  // Randomized agreement: CachedSatisfiable must equal the uncached
+  // congruence-closure path (Conjunction::Satisfiable) on every generated
+  // condition — including repeats, which exercise the caches.
+  ConditionInterner interner;
+  std::mt19937 rng(20260726);
+  for (int round = 0; round < 500; ++round) {
+    RandomCTableOptions options = testutil::SmallCTableOptions(
+        /*arity=*/2, /*num_rows=*/2, /*num_constants=*/3, /*num_variables=*/3,
+        /*num_local_atoms=*/3, /*num_global_atoms=*/3);
+    CTable t = RandomCTable(options, rng);
+    for (const CRow& row : t.rows()) {
+      EXPECT_EQ(interner.CachedSatisfiable(row.local), row.local.Satisfiable())
+          << row.local.ToString();
+    }
+    EXPECT_EQ(interner.CachedSatisfiable(t.global()), t.global().Satisfiable())
+        << t.global().ToString();
+    // Conjoining via the interner agrees with raw concatenation.
+    for (const CRow& row : t.rows()) {
+      Conjunction raw = Conjunction::And(t.global(), row.local);
+      ConjId combined =
+          interner.And(interner.Intern(t.global()), interner.Intern(row.local));
+      EXPECT_EQ(interner.Satisfiable(combined), raw.Satisfiable())
+          << raw.ToString();
+    }
+  }
+}
+
+TEST(InternerTest, CanonicalizationPreservesSemantics) {
+  // The canonical form must imply and be implied by the original: check by
+  // cross-implication of every atom over randomized conditions.
+  ConditionInterner interner;
+  std::mt19937 rng(77);
+  for (int round = 0; round < 300; ++round) {
+    RandomCTableOptions options = testutil::SmallCTableOptions(
+        /*arity=*/1, /*num_rows=*/1, /*num_constants=*/3, /*num_variables=*/4,
+        /*num_local_atoms=*/4);
+    CTable t = RandomCTable(options, rng);
+    const Conjunction& original = t.row(0).local;
+    if (!original.Satisfiable()) {
+      EXPECT_EQ(interner.Intern(original), ConditionInterner::kFalseConj);
+      continue;
+    }
+    const Conjunction& canonical = interner.Resolve(interner.Intern(original));
+    for (const CondAtom& atom : canonical.atoms()) {
+      EXPECT_TRUE(original.Implies(atom))
+          << original.ToString() << " !=> " << ToString(atom);
+    }
+    for (const CondAtom& atom : original.atoms()) {
+      EXPECT_TRUE(canonical.Implies(atom))
+          << canonical.ToString() << " !=> " << ToString(atom);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pw

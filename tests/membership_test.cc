@@ -8,6 +8,7 @@
 
 #include "decision/membership.h"
 #include "tables/world_enum.h"
+#include "test_util.h"
 #include "workload/random_gen.h"
 
 namespace pw {
@@ -18,14 +19,8 @@ namespace {
 TEST(MembershipCoddTest, PaperFig3Example) {
   // I0 = {112, 323, 145, 123}, T = {(x1,1,x2), (x3,2,3), (1,x4,x5),
   // (1,2,3), (1,2,x6)} — the paper's example answers yes.
-  CTable t(3);
-  t.AddRow(Tuple{V(1), C(1), V(2)});
-  t.AddRow(Tuple{V(3), C(2), C(3)});
-  t.AddRow(Tuple{C(1), V(4), V(5)});
-  t.AddRow(Tuple{C(1), C(2), C(3)});
-  t.AddRow(Tuple{C(1), C(2), V(6)});
-  CDatabase db{t};
-  Instance i0({Relation(3, {{1, 1, 2}, {3, 2, 3}, {1, 4, 5}, {1, 2, 3}})});
+  CDatabase db{testutil::PaperFig3Table()};
+  Instance i0 = testutil::PaperFig3Instance();
   auto result = MembershipCoddTables(db, i0);
   ASSERT_TRUE(result.has_value());
   EXPECT_TRUE(*result);
@@ -220,13 +215,10 @@ class MembershipPropertyTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(MembershipPropertyTest, SearchAgreesWithEnumeration) {
   std::mt19937 rng(GetParam());
-  RandomCTableOptions options;
-  options.arity = 2;
-  options.num_rows = 3;
-  options.num_constants = 3;
-  options.num_variables = 3;
-  options.num_local_atoms = (GetParam() % 2 == 0) ? 1 : 0;
-  options.num_global_atoms = GetParam() % 3;
+  RandomCTableOptions options = testutil::SmallCTableOptions(
+      /*arity=*/2, /*num_rows=*/3, /*num_constants=*/3, /*num_variables=*/3,
+      /*num_local_atoms=*/(GetParam() % 2 == 0) ? 1 : 0,
+      /*num_global_atoms=*/GetParam() % 3);
   CTable t = RandomCTable(options, rng);
   CDatabase db{t};
 
@@ -259,11 +251,10 @@ INSTANTIATE_TEST_SUITE_P(Seeds, MembershipPropertyTest,
 TEST(MembershipAgreementTest, CoddAlgorithmAgreesWithSearchOnRandom) {
   std::mt19937 rng(101);
   for (int round = 0; round < 30; ++round) {
-    RandomCTableOptions options;
-    options.arity = 2;
-    options.num_rows = 4;
-    options.num_constants = 3;
-    options.num_variables = 100;  // large pool: repeats are unlikely
+    // Large variable pool: repeats are unlikely, tables are Codd-ish.
+    RandomCTableOptions options = testutil::CoddishCTableOptions(
+        /*arity=*/2, /*num_rows=*/4, /*num_constants=*/3,
+        /*num_variables=*/100);
     CTable t = RandomCTable(options, rng);
     CDatabase db{t};
     Instance candidate({RandomRelation(2, 3, 4, rng)});

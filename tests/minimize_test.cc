@@ -6,6 +6,7 @@
 
 #include "tables/ctable.h"
 #include "tables/world_enum.h"
+#include "test_util.h"
 #include "workload/random_gen.h"
 
 namespace pw {
@@ -73,13 +74,10 @@ class MinimizePropertyTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(MinimizePropertyTest, PreservesRep) {
   std::mt19937 rng(GetParam());
-  RandomCTableOptions options;
-  options.arity = 2;
-  options.num_rows = 4;
-  options.num_constants = 3;
-  options.num_variables = 3;
-  options.num_local_atoms = 2;
-  options.num_global_atoms = 1;
+  RandomCTableOptions options =
+      testutil::SmallCTableOptions(/*arity=*/2, /*num_rows=*/4,
+          /*num_constants=*/3, /*num_variables=*/3, /*num_local_atoms=*/2,
+          /*num_global_atoms=*/1);
   CTable t = RandomCTable(options, rng);
   CTable m = t.Minimized();
   EXPECT_LE(m.num_rows(), t.num_rows());

@@ -9,6 +9,7 @@
 
 #include "decision/possibility.h"
 #include "tables/world_enum.h"
+#include "test_util.h"
 #include "workload/random_gen.h"
 
 namespace pw {
@@ -167,13 +168,9 @@ class PossibilityPropertyTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(PossibilityPropertyTest, BoundedAlgorithmAgreesWithOracle) {
   std::mt19937 rng(GetParam());
-  RandomCTableOptions options;
-  options.arity = 2;
-  options.num_rows = 3;
-  options.num_constants = 3;
-  options.num_variables = 3;
-  options.num_local_atoms = GetParam() % 2;
-  options.num_global_atoms = GetParam() % 3;
+  RandomCTableOptions options = testutil::SmallCTableOptions(
+      /*arity=*/2, /*num_rows=*/3, /*num_constants=*/3, /*num_variables=*/3,
+      /*num_local_atoms=*/GetParam() % 2, /*num_global_atoms=*/GetParam() % 3);
   CTable t = RandomCTable(options, rng);
   CDatabase db{t};
   RaQuery id = {RaExpr::Rel(0, 2)};
@@ -197,11 +194,8 @@ INSTANTIATE_TEST_SUITE_P(Seeds, PossibilityPropertyTest,
 TEST(PossibilityAgreementTest, CoddMatchingAgreesWithBoundedSearch) {
   std::mt19937 rng(202);
   for (int round = 0; round < 25; ++round) {
-    RandomCTableOptions options;
-    options.arity = 2;
-    options.num_rows = 4;
-    options.num_constants = 3;
-    options.num_variables = 200;  // effectively distinct variables
+    RandomCTableOptions options = testutil::CoddishCTableOptions(
+        /*arity=*/2, /*num_rows=*/4, /*num_constants=*/3);
     CTable t = RandomCTable(options, rng);
     CDatabase db{t};
     if (db.Kind() != TableKind::kCoddTable) continue;

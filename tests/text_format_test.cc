@@ -8,6 +8,7 @@
 #include "decision/containment.h"
 #include "tables/text_format.h"
 #include "tables/world_enum.h"
+#include "test_util.h"
 #include "workload/random_gen.h"
 
 namespace pw {
@@ -100,13 +101,10 @@ TEST(TextFormatTest, SingleTableParserRejectsMultiple) {
 TEST(TextFormatTest, FormatRoundTripPreservesStructure) {
   std::mt19937 rng(7);
   for (int round = 0; round < 20; ++round) {
-    RandomCTableOptions options;
-    options.arity = 2;
-    options.num_rows = 3;
-    options.num_constants = 4;
-    options.num_variables = 3;
-    options.num_local_atoms = 1;
-    options.num_global_atoms = 1;
+    RandomCTableOptions options =
+        testutil::SmallCTableOptions(/*arity=*/2, /*num_rows=*/3,
+            /*num_constants=*/4, /*num_variables=*/3, /*num_local_atoms=*/1,
+            /*num_global_atoms=*/1);
     CTable t = RandomCTable(options, rng);
     std::string text = FormatCTable(t);
     auto r = ParseCTable(text, nullptr);

@@ -9,6 +9,7 @@
 #include "decision/uniqueness.h"
 #include "ra/eval.h"
 #include "tables/world_enum.h"
+#include "test_util.h"
 #include "workload/random_gen.h"
 
 namespace pw {
@@ -190,13 +191,9 @@ class UniquenessPropertyTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(UniquenessPropertyTest, SearchAgreesWithOracle) {
   std::mt19937 rng(GetParam());
-  RandomCTableOptions options;
-  options.arity = 1;
-  options.num_rows = 3;
-  options.num_constants = 2;
-  options.num_variables = 2;
-  options.num_local_atoms = 1;
-  options.num_global_atoms = GetParam() % 2;
+  RandomCTableOptions options = testutil::SmallCTableOptions(
+      /*arity=*/1, /*num_rows=*/3, /*num_constants=*/2, /*num_variables=*/2,
+      /*num_local_atoms=*/1, /*num_global_atoms=*/GetParam() % 2);
   CTable t = RandomCTable(options, rng);
   CDatabase db{t};
 
@@ -216,12 +213,9 @@ INSTANTIATE_TEST_SUITE_P(Seeds, UniquenessPropertyTest,
 TEST(UniqAgreementTest, GTableFastPathAgreesWithSearch) {
   std::mt19937 rng(55);
   for (int round = 0; round < 30; ++round) {
-    RandomCTableOptions options;
-    options.arity = 1;
-    options.num_rows = 2;
-    options.num_constants = 2;
-    options.num_variables = 2;
-    options.num_global_atoms = round % 3;
+    RandomCTableOptions options = testutil::SmallCTableOptions(
+        /*arity=*/1, /*num_rows=*/2, /*num_constants=*/2, /*num_variables=*/2,
+        /*num_local_atoms=*/0, /*num_global_atoms=*/round % 3);
     CTable t = RandomCTable(options, rng);
     CDatabase db{t};
     Instance candidate({RandomRelation(1, 2, 3, rng)});
@@ -241,11 +235,8 @@ TEST(UniqAgreementTest, PosExistentialFastPathAgreesWithOracle) {
       {1})};
   View view = View::Ra(q);
   for (int round = 0; round < 30; ++round) {
-    RandomCTableOptions options;
-    options.arity = 2;
-    options.num_rows = 3;
-    options.num_constants = 2;
-    options.num_variables = 2;
+    RandomCTableOptions options = testutil::SmallCTableOptions(
+        /*arity=*/2, /*num_rows=*/3, /*num_constants=*/2, /*num_variables=*/2);
     CTable t = RandomCTable(options, rng);
     if (t.Kind() > TableKind::kETable) continue;
     CDatabase db{t};

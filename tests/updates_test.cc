@@ -7,6 +7,7 @@
 
 #include "tables/updates.h"
 #include "tables/world_enum.h"
+#include "test_util.h"
 #include "workload/random_gen.h"
 
 namespace pw {
@@ -74,12 +75,10 @@ class UpdatesPropertyTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(UpdatesPropertyTest, PointwiseSemantics) {
   std::mt19937 rng(GetParam());
-  RandomCTableOptions options;
-  options.arity = 2;
-  options.num_rows = 3;
-  options.num_constants = 3;
-  options.num_variables = 2;
-  options.num_local_atoms = GetParam() % 2;
+  RandomCTableOptions options =
+      testutil::SmallCTableOptions(/*arity=*/2, /*num_rows=*/3,
+          /*num_constants=*/3, /*num_variables=*/2,
+          /*num_local_atoms=*/GetParam() % 2);
   CTable t = RandomCTable(options, rng);
   std::uniform_int_distribution<int> c(0, 2);
   Fact f{c(rng), c(rng)};
