@@ -4,8 +4,15 @@
 // existential views embed into c-tables without exponential growth, while
 // "this growth may be unavoidable for first order and DATALOG queries".
 // This bench measures exactly that: the conditioned transitive-closure
-// fixpoint on a null-laden chain, reporting rows derived and subsumption
-// work, against the same program on ground data.
+// fixpoint on null-laden chains, reporting rows derived, subsumption and
+// duplicate-suppression work.
+//
+// Each workload runs under both strategies — the interned semi-naive
+// fixpoint (the default) and the naive seed strategy — as *_SemiNaive /
+// *_Naive pairs; CI parses the JSON output and fails when the fast path
+// regresses past 2x its seed pair (tools/check_bench_regression.py). The
+// SharedNullChain workload repeats the same few conditions across rows,
+// which is where interning (memoized And, duplicate ids) pays off most.
 
 #include <benchmark/benchmark.h>
 
@@ -31,12 +38,15 @@ DatalogProgram TransitiveClosure() {
 }
 
 /// Chain 0 -> 1 -> ... -> n where every `gap`-th edge goes through a null.
-CDatabase NullChain(int n, int gap) {
+/// With `shared` the same null is reused for every gap (repeated
+/// conditions); otherwise each gap gets a fresh null (condition diversity).
+CDatabase NullChain(int n, int gap, bool shared = false) {
   CTable t(2);
   for (int i = 0; i < n; ++i) {
     if (gap > 0 && i % gap == gap - 1) {
-      t.AddRow(Tuple{C(i), V(i)});
-      t.AddRow(Tuple{V(i), C(i + 1)});
+      VarId null = shared ? 0 : i;
+      t.AddRow(Tuple{C(i), V(null)});
+      t.AddRow(Tuple{V(null), C(i + 1)});
     } else {
       t.AddRow(Tuple{C(i), C(i + 1)});
     }
@@ -44,40 +54,78 @@ CDatabase NullChain(int n, int gap) {
   return CDatabase{t};
 }
 
-void BM_ConditionedTC_GroundChain(benchmark::State& state) {
-  int n = static_cast<int>(state.range(0));
-  CDatabase db = NullChain(n, /*gap=*/0);
+void RunFixpoint(benchmark::State& state, const CDatabase& db,
+                 bool semi_naive, const char* label) {
   DatalogProgram tc = TransitiveClosure();
+  DatalogCTableOptions options;
+  options.semi_naive = semi_naive;
   ConditionedFixpointStats stats;
   for (auto _ : state) {
-    CDatabase out = DatalogOnCTables(tc, db, &stats);
-    benchmark::DoNotOptimize(out);
-  }
-  state.counters["rows"] = static_cast<double>(stats.derived_rows);
-  state.SetLabel("ground chain (baseline)");
-}
-BENCHMARK(BM_ConditionedTC_GroundChain)
-    ->DenseRange(8, 32, 8)
-    ->Unit(benchmark::kMicrosecond);
-
-void BM_ConditionedTC_NullChain(benchmark::State& state) {
-  int n = static_cast<int>(state.range(0));
-  CDatabase db = NullChain(n, /*gap=*/3);
-  DatalogProgram tc = TransitiveClosure();
-  ConditionedFixpointStats stats;
-  for (auto _ : state) {
-    CDatabase out = DatalogOnCTables(tc, db, &stats);
+    CDatabase out = DatalogOnCTables(tc, db, &stats, options);
     benchmark::DoNotOptimize(out);
   }
   state.counters["rows"] = static_cast<double>(stats.derived_rows);
   state.counters["subsumed"] = static_cast<double>(stats.subsumed_rows);
-  state.SetLabel("null chain (lineage growth)");
+  state.counters["dups"] = static_cast<double>(stats.duplicate_rows);
+  state.counters["rounds"] = static_cast<double>(stats.rounds);
+  state.SetLabel(label);
 }
+
+void BM_ConditionedTC_GroundChain_SemiNaive(benchmark::State& state) {
+  CDatabase db = NullChain(static_cast<int>(state.range(0)), /*gap=*/0);
+  RunFixpoint(state, db, true, "ground chain, semi-naive interned");
+}
+BENCHMARK(BM_ConditionedTC_GroundChain_SemiNaive)
+    ->DenseRange(8, 32, 8)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ConditionedTC_GroundChain_Naive(benchmark::State& state) {
+  CDatabase db = NullChain(static_cast<int>(state.range(0)), /*gap=*/0);
+  RunFixpoint(state, db, false, "ground chain, naive seed strategy");
+}
+BENCHMARK(BM_ConditionedTC_GroundChain_Naive)
+    ->DenseRange(8, 32, 8)
+    ->Unit(benchmark::kMicrosecond);
+
 // Lineage growth is exponential in the number of nulls (every pair of null
-// endpoints yields conditional cross-paths); cap the sweep where one point
-// still finishes in seconds.
-BENCHMARK(BM_ConditionedTC_NullChain)
-    ->DenseRange(6, 12, 3)
+// endpoints yields conditional cross-paths); cap the sweep at the smoke
+// sizes CI gates on — past ~4 distinct nulls the exponential antichain per
+// tuple dominates every strategy and a single fixpoint takes seconds.
+void BM_ConditionedTC_NullChain_SemiNaive(benchmark::State& state) {
+  CDatabase db = NullChain(static_cast<int>(state.range(0)), /*gap=*/3);
+  RunFixpoint(state, db, true, "null chain, semi-naive interned");
+}
+BENCHMARK(BM_ConditionedTC_NullChain_SemiNaive)
+    ->DenseRange(6, 9, 3)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ConditionedTC_NullChain_Naive(benchmark::State& state) {
+  CDatabase db = NullChain(static_cast<int>(state.range(0)), /*gap=*/3);
+  RunFixpoint(state, db, false, "null chain, naive seed strategy");
+}
+BENCHMARK(BM_ConditionedTC_NullChain_Naive)
+    ->DenseRange(6, 9, 3)
+    ->Unit(benchmark::kMicrosecond);
+
+// One shared null across every gap: the same handful of conditions recurs in
+// every derivation, so the memoized And/Implies caches and the (tuple, id)
+// duplicate check carry the load.
+void BM_ConditionedTC_SharedNullChain_SemiNaive(benchmark::State& state) {
+  CDatabase db =
+      NullChain(static_cast<int>(state.range(0)), /*gap=*/3, /*shared=*/true);
+  RunFixpoint(state, db, true, "shared-null chain, semi-naive interned");
+}
+BENCHMARK(BM_ConditionedTC_SharedNullChain_SemiNaive)
+    ->DenseRange(8, 24, 8)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ConditionedTC_SharedNullChain_Naive(benchmark::State& state) {
+  CDatabase db =
+      NullChain(static_cast<int>(state.range(0)), /*gap=*/3, /*shared=*/true);
+  RunFixpoint(state, db, false, "shared-null chain, naive seed strategy");
+}
+BENCHMARK(BM_ConditionedTC_SharedNullChain_Naive)
+    ->DenseRange(8, 24, 8)
     ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
@@ -87,8 +135,9 @@ int main(int argc, char** argv) {
   pw::benchutil::Header(
       "EXTENSION: conditioned DATALOG fixpoint on c-tables",
       "The paper: c-table images of DATALOG queries exist but 'this growth "
-      "may be unavoidable'. Compare derived-row counts on ground vs "
-      "null-laden chains under conditioned transitive closure.");
+      "may be unavoidable'. Compare semi-naive interned vs naive evaluation "
+      "on ground, null-laden, and shared-null chains under conditioned "
+      "transitive closure.");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,13 +1,25 @@
 #include "condition/interner.h"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
 
 #include "condition/binding_env.h"
 
 namespace pw {
 
-ConditionInterner::ConditionInterner() {
+namespace {
+
+/// Process-wide monotone counter behind stamp(): every constructed interner
+/// and every generation gets a value no other (instance, generation) has.
+uint64_t NextStamp() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+void ConditionInterner::InitSentinels() {
   // Reserve the two sentinel ids. kTrueConj is the empty conjunction;
   // kFalseConj materializes as {0 != 0}, the paper's encoding of `false`.
   ConjEntry true_entry;
@@ -18,6 +30,34 @@ ConditionInterner::ConditionInterner() {
   false_entry.atoms.push_back(InternAtom(FalseAtom()));
   false_entry.canonical = Conjunction{FalseAtom()};
   conjs_.push_back(std::move(false_entry));
+}
+
+ConditionInterner::ConditionInterner() : stamp_(NextStamp()) {
+  InitSentinels();
+}
+
+void ConditionInterner::Clear() {
+  atoms_.clear();
+  atom_ids_.clear();
+  conjs_.clear();
+  canonical_ids_.clear();
+  syntactic_ids_.clear();
+  and_cache_.clear();
+  implies_cache_.clear();
+  InitSentinels();
+  ++generation_;
+  stamp_ = NextStamp();
+}
+
+std::vector<ConjId> ConditionInterner::RebaseInto(
+    ConditionInterner& dst) const {
+  std::vector<ConjId> map(conjs_.size());
+  map[kTrueConj] = kTrueConj;
+  map[kFalseConj] = kFalseConj;
+  for (ConjId id = kFalseConj + 1; id < conjs_.size(); ++id) {
+    map[id] = dst.Intern(conjs_[id].canonical);
+  }
+  return map;
 }
 
 AtomId ConditionInterner::InternAtom(const CondAtom& atom) {
@@ -172,6 +212,53 @@ ConjId ConditionInterner::And(ConjId a, ConjId b) {
   merged.AddAll(conjs_[b].canonical);
   ConjId out = Canonicalize(merged);
   and_cache_.emplace(key, out);
+  return out;
+}
+
+bool ConditionInterner::Implies(ConjId a, ConjId b) {
+  if (a == kFalseConj || b == kTrueConj || a == b) return true;
+  if (a == kTrueConj || b == kFalseConj) return false;
+
+  ++stats_.implies_calls;
+  // Subset fast path: canonical atom-id vectors are sorted by atom value
+  // (InternAtom preserves discovery order, but both vectors were built from
+  // value-sorted atoms, so a merge walk over atom values works). A superset
+  // of atoms is a stronger condition.
+  const std::vector<AtomId>& need = conjs_[b].atoms;
+  const std::vector<AtomId>& have = conjs_[a].atoms;
+  if (need.size() <= have.size()) {
+    size_t i = 0;
+    for (AtomId id : have) {
+      if (i < need.size() && need[i] == id) ++i;
+    }
+    if (i == need.size()) {
+      ++stats_.implies_hits;
+      return true;
+    }
+  }
+
+  std::pair<ConjId, ConjId> key{a, b};
+  auto it = implies_cache_.find(key);
+  if (it != implies_cache_.end()) {
+    ++stats_.implies_hits;
+    return it->second;
+  }
+  // Full congruence check: a implies b iff a AND NOT atom is unsatisfiable
+  // for every atom of b.
+  bool out = true;
+  scratch_env_.Revert(0);
+  if (scratch_env_.Assert(conjs_[a].canonical)) {
+    for (const CondAtom& atom : conjs_[b].canonical.atoms()) {
+      size_t mark = scratch_env_.Mark();
+      bool negation_consistent = scratch_env_.AssertAtom(Negate(atom));
+      scratch_env_.Revert(mark);
+      if (negation_consistent) {
+        out = false;
+        break;
+      }
+    }
+  }
+  implies_cache_.emplace(key, out);
   return out;
 }
 

@@ -24,10 +24,30 @@
 // row.local over and over) a single hash lookup with no closure at all.
 //
 // Conjoining two interned conjunctions (`And`) is memoized pairwise, which is
-// exactly the access pattern of EvalOnCTables' product rule.
+// exactly the access pattern of EvalOnCTables' product rule. Implication
+// between interned conjunctions (`Implies`) is likewise memoized pairwise —
+// the access pattern of row subsumption in the conditioned fixpoints.
 //
-// The interner is append-only and not thread-safe; `Global()` returns a
-// thread-local instance so concurrent evaluators never contend.
+// Within one generation the interner is append-only, so ids stay valid and
+// can be stored in long-lived objects (CRow memoizes its local condition's
+// id this way). For long-running processes the table must not grow without
+// bound, so the interner has a *generational* lifecycle:
+//   - `stamp()` is a value unique to this (instance, generation) pair; any
+//     cached id is valid exactly while the stamp under which it was produced
+//     equals the interner's current stamp;
+//   - `Clear()` starts a new generation: every table is dropped back to the
+//     two sentinel ids (capacity retained) and the stamp changes, so stale
+//     stamped caches re-intern transparently instead of reading freed state;
+//   - a per-request *child* interner can be used for scoped work and its
+//     surviving ids carried over with `RebaseInto(parent)`, which re-interns
+//     every conjunction into the parent and returns the id translation;
+//     memoized verdicts are preserved (false maps to false, true to true).
+//
+// The interner is not thread-safe; `Global()` returns a thread-local
+// instance so concurrent evaluators never contend. The same goes for the
+// stamped id caches rows and tables carry (CRow::LocalId, CTable::GlobalId):
+// they memoize against one interner's stamp, so the owning objects must not
+// be shared across evaluator threads — hand each thread its own copy.
 
 #ifndef PW_CONDITION_INTERNER_H_
 #define PW_CONDITION_INTERNER_H_
@@ -90,6 +110,11 @@ class ConditionInterner {
   /// Conjunction of two interned conjunctions, memoized pairwise.
   ConjId And(ConjId a, ConjId b);
 
+  /// True iff every valuation satisfying `a` satisfies `b`. Complete for
+  /// conjunctions of =/!= atoms over the infinite domain (congruence check),
+  /// memoized pairwise with a canonical-atom subset fast path.
+  bool Implies(ConjId a, ConjId b);
+
   /// O(1) satisfiability of an interned conjunction (the congruence closure
   /// ran at intern time).
   bool Satisfiable(ConjId id) const { return id != kFalseConj; }
@@ -101,8 +126,39 @@ class ConditionInterner {
     return Intern(conjunction) != kFalseConj;
   }
 
+  /// The canonical atom ids of an interned conjunction (sorted by atom
+  /// value, deduplicated). `a` subsumes `b` when AtomIdsOf(a) is a subset of
+  /// AtomIdsOf(b) — the fast path of `Implies`.
+  const std::vector<AtomId>& AtomIdsOf(ConjId id) const {
+    return conjs_[id].atoms;
+  }
+
   size_t num_atoms() const { return atoms_.size(); }
   size_t num_conjunctions() const { return conjs_.size(); }
+
+  // --- Generational lifecycle -----------------------------------------------
+
+  /// A value unique to this (instance, generation) pair across the process.
+  /// Ids obtained under stamp s are valid exactly while stamp() == s; caches
+  /// key their entries on it. Never 0, so 0 works as "no cache".
+  uint64_t stamp() const { return stamp_; }
+
+  /// Number of Clear() calls survived.
+  uint64_t generation() const { return generation_; }
+
+  /// Starts a new generation: drops every interned atom, conjunction, and
+  /// pair cache back to the two sentinels (retaining container capacity) and
+  /// changes the stamp, invalidating all outstanding ids and stamped caches.
+  /// Stats are not reset.
+  void Clear();
+
+  /// Re-interns every conjunction of this interner into `dst` and returns
+  /// the translation: result[id] is the id in `dst` of the conjunction `id`
+  /// denotes here. kTrueConj and kFalseConj map to themselves, so memoized
+  /// satisfiability verdicts survive the rebase. Typical use: run a request
+  /// against a scratch child interner, then rebase surviving row ids into
+  /// the long-lived parent.
+  std::vector<ConjId> RebaseInto(ConditionInterner& dst) const;
 
   /// Cache-effectiveness counters (for benches and tests).
   struct Stats {
@@ -111,6 +167,8 @@ class ConditionInterner {
     uint64_t canonical_hits = 0;    // closure ran, canonical form known
     uint64_t and_calls = 0;         // And() invocations past trivial cases
     uint64_t and_hits = 0;          // resolved from the pair cache
+    uint64_t implies_calls = 0;     // Implies() invocations past trivial cases
+    uint64_t implies_hits = 0;      // resolved by subset test or pair cache
   };
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = {}; }
@@ -150,6 +208,9 @@ class ConditionInterner {
   /// Interns an already-canonical sorted atom-id vector.
   ConjId InternCanonical(std::vector<AtomId> ids);
 
+  /// Installs the two sentinel entries into empty tables.
+  void InitSentinels();
+
   std::vector<CondAtom> atoms_;
   std::unordered_map<CondAtom, AtomId, CondAtomHash> atom_ids_;
 
@@ -160,11 +221,17 @@ class ConditionInterner {
   std::unordered_map<std::vector<AtomId>, ConjId, IdVecHash> syntactic_ids_;
   // Unordered pair (min, max) -> And result.
   std::unordered_map<std::pair<ConjId, ConjId>, ConjId, PairHash> and_cache_;
+  // Ordered pair (a, b) -> whether a implies b.
+  std::unordered_map<std::pair<ConjId, ConjId>, bool, PairHash>
+      implies_cache_;
 
   // Reused scratch state: the syntactic key buffer and the congruence
   // environment (reverted to empty after each closure, retaining capacity).
   std::vector<AtomId> scratch_key_;
   BindingEnv scratch_env_;
+
+  uint64_t stamp_ = 0;
+  uint64_t generation_ = 0;
 
   Stats stats_;
 };

@@ -13,7 +13,7 @@ std::optional<Instance> DatalogCertainAnswers(const DatalogProgram& program,
   // Applicability: g-tables and below (no local conditions).
   for (size_t i = 0; i < database.num_tables(); ++i) {
     for (const CRow& row : database.table(i).rows()) {
-      if (!row.local.IsTautology()) return std::nullopt;
+      if (!row.local().IsTautology()) return std::nullopt;
     }
   }
 

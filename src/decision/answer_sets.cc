@@ -36,7 +36,7 @@ void CollectPossibleFromRow(const CRow& row, const Conjunction& global,
     if (row.tuple[i].is_constant()) fact[i] = row.tuple[i].constant();
   }
   BindingEnv env;
-  if (!env.Assert(global) || !env.Assert(row.local)) return;
+  if (!env.Assert(global) || !env.Assert(row.local())) return;
 
   std::function<void(size_t)> go = [&](size_t vp) {
     if (vp == var_positions.size()) {

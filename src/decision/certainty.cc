@@ -14,7 +14,7 @@ namespace {
 bool HasLocalConditions(const CDatabase& database) {
   for (size_t k = 0; k < database.num_tables(); ++k) {
     for (const CRow& row : database.table(k).rows()) {
-      if (!row.local.IsTautology()) return true;
+      if (!row.local().IsTautology()) return true;
     }
   }
   return false;

@@ -23,7 +23,7 @@ bool IsCoddDatabase(const CDatabase& database) {
     const CTable& t = database.table(k);
     if (!t.global().IsTautology()) return false;
     for (const CRow& row : t.rows()) {
-      if (!row.local.IsTautology()) return false;
+      if (!row.local().IsTautology()) return false;
       for (const Term& term : row.tuple) {
         if (term.is_variable() && !seen.insert(term.variable()).second) {
           return false;
@@ -109,7 +109,7 @@ bool TryOption(SearchState& s, const SearchState::RowTask& task,
                const SearchState::Option& option) {
   if (option.fact != nullptr) {
     return AssertTupleEqualsFact(s.env, task.row->tuple, *option.fact) &&
-           s.env.Assert(task.row->local);
+           s.env.Assert(task.row->local());
   }
   return s.env.AssertAtom(Negate(*option.atom));
 }
@@ -143,7 +143,7 @@ bool SearchRecurse(SearchState& s, size_t remaining) {
       for (const Fact* fact : task.candidates) {
         size_t mark = s.env.Mark();
         bool ok = AssertTupleEqualsFact(s.env, task.row->tuple, *fact) &&
-                  s.env.Assert(task.row->local);
+                  s.env.Assert(task.row->local());
         s.env.Revert(mark);
         if (ok) {
           options.push_back({fact, nullptr});
@@ -264,14 +264,14 @@ bool MembershipSearch(const CDatabase& database, const Instance& instance,
       // A row whose local condition is unsatisfiable is "off" in every world
       // — no task needed (memoized, so repeated searches over the same
       // tables skip the closure entirely).
-      if (!interner.CachedSatisfiable(row.local)) continue;
+      if (!interner.Satisfiable(row.LocalId(interner))) continue;
       SearchState::RowTask task;
       task.row = &row;
       task.table = k;
       for (const Fact& f : facts[k]) {
         if (Unifiable(row.tuple, f)) task.candidates.push_back(&f);
       }
-      Conjunction simplified = row.local.Simplified();
+      Conjunction simplified = row.local().Simplified();
       for (const CondAtom& atom : simplified.atoms()) {
         task.suppress_atoms.push_back(atom);
       }

@@ -44,8 +44,9 @@ bool AssignPattern(const CDatabase& image, const Conjunction& global,
     for (const CRow& row : table.rows()) {
       if (!Unifiable(row.tuple, lf.fact)) continue;
       // Memoized fast reject: a row whose local can never hold at all need
-      // not be tried against the environment.
-      if (!interner.CachedSatisfiable(row.local)) continue;
+      // not be tried against the environment (the verdict rides on the row's
+      // cached interned id).
+      if (!interner.Satisfiable(row.LocalId(interner))) continue;
       size_t mark = env.Mark();
       bool ok = true;
       for (size_t p = 0; p < lf.fact.size(); ++p) {
@@ -54,7 +55,7 @@ bool AssignPattern(const CDatabase& image, const Conjunction& global,
           break;
         }
       }
-      if (ok && env.Assert(row.local) && go(i + 1)) return true;
+      if (ok && env.Assert(row.local()) && go(i + 1)) return true;
       env.Revert(mark);
     }
     return false;

@@ -15,7 +15,7 @@ namespace {
 bool HasLocalConditions(const CDatabase& database) {
   for (size_t k = 0; k < database.num_tables(); ++k) {
     for (const CRow& row : database.table(k).rows()) {
-      if (!row.local.IsTautology()) return true;
+      if (!row.local().IsTautology()) return true;
     }
   }
   return false;
@@ -98,7 +98,7 @@ std::optional<bool> UniqPosExistentialView(const RaQuery& query,
     const CTable& rt = result->table(p);
     for (const CRow& row : rt.rows()) {
       // Positive existential without != yields equality-only conjunctions.
-      Conjunction phi = row.local.Simplified();
+      Conjunction phi = row.local().Simplified();
       if (!ConditionInterner::Global().CachedSatisfiable(phi)) {
         continue;  // row can never be on
       }

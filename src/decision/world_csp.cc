@@ -11,7 +11,7 @@ namespace {
 /// some tuple position differs.
 AtomClause RowMissesFactClause(const CRow& row, const Fact& fact) {
   AtomClause clause;
-  Conjunction simplified = row.local.Simplified();
+  Conjunction simplified = row.local().Simplified();
   for (const CondAtom& atom : simplified.atoms()) {
     clause.push_back(Negate(atom));
   }
@@ -39,7 +39,7 @@ bool ExistsWorldOtherThan(const CDatabase& database,
     const Relation& target = instance.relation(k);
     for (const CRow& row : database.table(k).rows()) {
       BindingEnv env;
-      if (!env.Assert(global) || !env.Assert(row.local)) continue;
+      if (!env.Assert(global) || !env.Assert(row.local())) continue;
       std::vector<AtomClause> clauses;
       bool impossible = false;
       for (const Fact& f : target) {

@@ -49,7 +49,9 @@ std::optional<InternedTable> EvalInterned(const RaExpr& expr,
       const CTable& in = database.table(expr.rel_index());
       out.rows.reserve(in.num_rows());
       for (const CRow& row : in.rows()) {
-        ConjId cond = interner.Intern(row.local);
+        // The row's memoized id: no re-canonicalization when the table was
+        // produced by an interned pipeline (or queried before).
+        ConjId cond = row.LocalId(interner);
         if (!interner.Satisfiable(cond)) continue;
         out.rows.push_back({row.tuple, cond});
       }
@@ -137,7 +139,7 @@ std::optional<CTable> EvalPlain(const RaExpr& expr,
     case RaOp::kRel: {
       CTable out(expr.arity());
       const CTable& in = database.table(expr.rel_index());
-      for (const CRow& row : in.rows()) out.AddRow(row.tuple, row.local);
+      for (const CRow& row : in.rows()) out.AddRow(row.tuple, row.local());
       return out;
     }
     case RaOp::kConstRel: {
@@ -155,7 +157,7 @@ std::optional<CTable> EvalPlain(const RaExpr& expr,
         for (const ColOrConst& o : expr.outputs()) {
           t.push_back(ResolveTerm(o, row.tuple));
         }
-        out.AddRow(std::move(t), row.local);
+        out.AddRow(std::move(t), row.local());
       }
       return out;
     }
@@ -164,7 +166,7 @@ std::optional<CTable> EvalPlain(const RaExpr& expr,
       if (!in) return std::nullopt;
       CTable out(expr.arity());
       for (const CRow& row : in->rows()) {
-        Conjunction local = row.local;
+        Conjunction local = row.local();
         bool keep = true;
         for (const SelectAtom& a : expr.atoms()) {
           if (!ApplySelectAtom(a, row.tuple, local)) {
@@ -185,7 +187,7 @@ std::optional<CTable> EvalPlain(const RaExpr& expr,
         for (const CRow& rr : r->rows()) {
           Tuple t = rl.tuple;
           t.insert(t.end(), rr.tuple.begin(), rr.tuple.end());
-          out.AddRow(std::move(t), Conjunction::And(rl.local, rr.local));
+          out.AddRow(std::move(t), Conjunction::And(rl.local(), rr.local()));
         }
       }
       return out;
@@ -195,8 +197,8 @@ std::optional<CTable> EvalPlain(const RaExpr& expr,
       auto r = EvalPlain(expr.right(), database);
       if (!l || !r) return std::nullopt;
       CTable out(expr.arity());
-      for (const CRow& row : l->rows()) out.AddRow(row.tuple, row.local);
-      for (const CRow& row : r->rows()) out.AddRow(row.tuple, row.local);
+      for (const CRow& row : l->rows()) out.AddRow(row.tuple, row.local());
+      for (const CRow& row : r->rows()) out.AddRow(row.tuple, row.local());
       return out;
     }
     case RaOp::kDiff:
@@ -218,7 +220,9 @@ std::optional<CTable> EvalOnCTables(const RaExpr& expr,
   if (!interned) return std::nullopt;
   CTable out(interned->arity);
   for (InternedRow& row : interned->rows) {
-    out.AddRow(std::move(row.tuple), interner.Resolve(row.cond));
+    // Materializes the canonical form and seeds the row's id cache, so the
+    // next interned consumer of this table starts from the id.
+    out.AddRow(std::move(row.tuple), row.cond, interner);
   }
   return out;
 }

@@ -1,82 +1,98 @@
 #include "ilalgebra/datalog_ctable.h"
 
-#include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <map>
-#include <set>
+#include <unordered_map>
+#include <utility>
 #include <vector>
-
-#include "condition/binding_env.h"
 
 namespace pw {
 
 namespace {
 
-/// Canonical condition: sorted, deduplicated atoms with trivially true ones
-/// removed. Subset comparison then decides subsumption.
-using AtomSet = std::vector<CondAtom>;
+/// One conditioned fact during evaluation. The tuple lives in the by_tuple
+/// index (node-based map, so the key address is stable); rows of the same
+/// tuple share it. Dead rows (subsumed by a later, weaker derivation) stay
+/// in place so indices remain stable; joins skip them — any derivation
+/// through a dead row is covered, with a weaker or equal condition, by the
+/// same derivation through its subsumer.
+struct IRow {
+  const Tuple* tuple = nullptr;
+  ConjId cond = ConditionInterner::kTrueConj;
+  bool alive = true;
+};
 
-AtomSet Canonicalize(const Conjunction& c) {
-  AtomSet atoms;
-  for (const CondAtom& a : c.atoms()) {
-    if (!IsTriviallyTrue(a)) atoms.push_back(a);
+struct TupleHash {
+  size_t operator()(const Tuple& t) const noexcept {
+    uint64_t h = 1469598103934665603ull;  // FNV-1a over term hashes
+    for (const Term& term : t) {
+      h ^= std::hash<Term>()(term);
+      h *= 1099511628211ull;
+    }
+    return static_cast<size_t>(h);
   }
-  std::sort(atoms.begin(), atoms.end());
-  atoms.erase(std::unique(atoms.begin(), atoms.end()), atoms.end());
-  return atoms;
-}
+};
 
-bool IsSubset(const AtomSet& small, const AtomSet& big) {
-  return std::includes(big.begin(), big.end(), small.begin(), small.end());
-}
-
-/// One conditioned fact during evaluation.
-struct CondRow {
-  Tuple tuple;
-  AtomSet cond;
-
-  friend bool operator==(const CondRow&, const CondRow&) = default;
+struct PredState {
+  std::vector<IRow> rows;
+  // Tuple -> indices into `rows` (live and dead): the duplicate-suppression
+  // and subsumption index.
+  std::unordered_map<Tuple, std::vector<size_t>, TupleHash> by_tuple;
+  // The previous round's delta is rows[delta_begin, delta_end); rows at and
+  // past delta_end were derived in the current round.
+  size_t delta_begin = 0;
+  size_t delta_end = 0;
 };
 
 struct EvalState {
-  const DatalogProgram* program;
-  Conjunction global;
-  // rows[p] = all kept conditioned rows of predicate p.
-  std::vector<std::vector<CondRow>> rows;
+  ConditionInterner* interner = nullptr;
+  ConjId global_id = ConditionInterner::kTrueConj;
+  std::vector<PredState> preds;
   ConditionedFixpointStats stats;
 };
 
-/// Inserts a derived row unless subsumed; drops rows subsumed by it.
-/// Returns true if the row was added.
-bool Insert(EvalState& state, int pred, CondRow row) {
-  // Consistency check against the global condition.
-  {
-    BindingEnv env;
-    bool ok = env.Assert(state.global);
-    for (const CondAtom& a : row.cond) {
-      if (!ok) break;
-      ok = env.AssertAtom(a);
+/// Inserts a derived row unless a duplicate (same tuple, same condition id)
+/// or subsumed (a live row with the same tuple and an implied-or-equal
+/// condition exists); kills live rows the new one subsumes. Rows whose
+/// condition cannot hold together with the global condition are dropped.
+/// Returns true if the row was added. Since each (tuple, id) pair is
+/// admitted at most once and the id universe of a program is finite, the
+/// fixpoint terminates.
+bool Insert(EvalState& state, int pred, Tuple tuple, ConjId cond) {
+  ConditionInterner& interner = *state.interner;
+  if (!interner.Satisfiable(interner.And(state.global_id, cond))) {
+    ++state.stats.unsatisfiable_rows;
+    return false;
+  }
+  PredState& ps = state.preds[pred];
+  auto [it, inserted] = ps.by_tuple.try_emplace(std::move(tuple));
+  std::vector<size_t>& bucket = it->second;
+  if (!inserted) {
+    for (size_t idx : bucket) {
+      if (ps.rows[idx].cond == cond) {
+        ++state.stats.duplicate_rows;
+        return false;
+      }
     }
-    if (!ok) {
-      ++state.stats.unsatisfiable_rows;
-      return false;
+    for (size_t idx : bucket) {
+      const IRow& existing = ps.rows[idx];
+      // An already-present weaker condition derives the new row.
+      if (existing.alive && interner.Implies(cond, existing.cond)) {
+        ++state.stats.subsumed_rows;
+        return false;
+      }
+    }
+    for (size_t idx : bucket) {
+      IRow& existing = ps.rows[idx];
+      if (existing.alive && interner.Implies(existing.cond, cond)) {
+        existing.alive = false;
+        ++state.stats.subsumed_rows;
+      }
     }
   }
-  auto& bucket = state.rows[pred];
-  for (const CondRow& existing : bucket) {
-    if (existing.tuple == row.tuple && IsSubset(existing.cond, row.cond)) {
-      ++state.stats.subsumed_rows;
-      return false;  // an already-present weaker condition derives it
-    }
-  }
-  // Remove rows strictly subsumed by the new one.
-  std::erase_if(bucket, [&row, &state](const CondRow& existing) {
-    bool gone = existing.tuple == row.tuple &&
-                IsSubset(row.cond, existing.cond);
-    if (gone) ++state.stats.subsumed_rows;
-    return gone;
-  });
-  bucket.push_back(std::move(row));
+  bucket.push_back(ps.rows.size());
+  ps.rows.push_back(IRow{&it->first, cond, true});
   ++state.stats.derived_rows;
   return true;
 }
@@ -85,104 +101,168 @@ bool Insert(EvalState& state, int pred, CondRow row) {
 /// binding (rule variable -> table term) and accumulating equality atoms
 /// between table terms where needed. Returns false on hard mismatch.
 bool MatchArgs(const Tuple& args, const Tuple& row,
-               std::map<VarId, Term>& binding, AtomSet& cond) {
+               std::map<VarId, Term>& binding, Conjunction& cond) {
   for (size_t i = 0; i < args.size(); ++i) {
     Term need = args[i];
     Term have = row[i];
     if (need.is_constant()) {
       CondAtom eq = Eq(need, have);
       if (IsTriviallyFalse(eq)) return false;
-      if (!IsTriviallyTrue(eq)) cond.push_back(eq);
+      if (!IsTriviallyTrue(eq)) cond.Add(eq);
       continue;
     }
     auto [it, inserted] = binding.emplace(need.variable(), have);
     if (!inserted) {
       CondAtom eq = Eq(it->second, have);
       if (IsTriviallyFalse(eq)) return false;
-      if (!IsTriviallyTrue(eq)) cond.push_back(eq);
+      if (!IsTriviallyTrue(eq)) cond.Add(eq);
     }
   }
   return true;
 }
 
-/// Fires one rule against the current rows, inserting head derivations.
-/// Returns true if anything new was added.
-bool FireRule(EvalState& state, const DatalogRule& rule) {
+/// Fires one rule, inserting head derivations. With `delta_pos < 0` (naive)
+/// every body position ranges over the full row list as of loop entry. With
+/// `delta_pos >= 0` (semi-naive) position delta_pos ranges over its
+/// predicate's delta, earlier positions over pre-delta rows only and later
+/// ones over everything up to the delta end — so each combination with at
+/// least one delta row is enumerated exactly once per round. The local
+/// condition travels as an interned id: conjunction is the memoized And and
+/// a branch whose partial condition cannot hold (on its own or with the
+/// global condition) is cut immediately. Returns true if anything was added.
+bool FireRule(EvalState& state, const DatalogRule& rule, int delta_pos) {
+  ConditionInterner& interner = *state.interner;
   bool added = false;
   std::map<VarId, Term> binding;
-  AtomSet cond;
 
-  std::function<void(size_t)> go = [&](size_t pos) {
+  std::function<void(size_t, ConjId)> go = [&](size_t pos, ConjId acc) {
     if (pos == rule.body.size()) {
       Tuple head;
       head.reserve(rule.head.args.size());
       for (const Term& t : rule.head.args) {
         head.push_back(t.is_constant() ? t : binding.at(t.variable()));
       }
-      CondRow out{std::move(head), cond};
-      std::sort(out.cond.begin(), out.cond.end());
-      out.cond.erase(std::unique(out.cond.begin(), out.cond.end()),
-                     out.cond.end());
-      added |= Insert(state, rule.head.predicate, std::move(out));
+      added |= Insert(state, rule.head.predicate, std::move(head), acc);
       return;
     }
     const DatalogAtom& atom = rule.body[pos];
-    // Iterate over a snapshot (Insert may mutate the bucket of the head
-    // predicate; body predicates of the same index need stable iteration).
-    std::vector<CondRow> snapshot = state.rows[atom.predicate];
-    for (const CondRow& row : snapshot) {
+    PredState& ps = state.preds[atom.predicate];
+    size_t lo = 0;
+    size_t hi;
+    if (delta_pos < 0) {
+      hi = ps.rows.size();
+    } else if (static_cast<int>(pos) == delta_pos) {
+      lo = ps.delta_begin;
+      hi = ps.delta_end;
+    } else if (static_cast<int>(pos) < delta_pos) {
+      hi = ps.delta_begin;
+    } else {
+      hi = ps.delta_end;
+    }
+    // Index-based: Insert may append to (and reallocate) any row vector.
+    for (size_t idx = lo; idx < hi; ++idx) {
+      if (!ps.rows[idx].alive) continue;
+      ConjId row_cond = ps.rows[idx].cond;
       auto saved_binding = binding;
-      size_t saved_cond = cond.size();
-      cond.insert(cond.end(), row.cond.begin(), row.cond.end());
-      if (MatchArgs(atom.args, row.tuple, binding, cond)) go(pos + 1);
+      Conjunction eqs;
+      if (MatchArgs(atom.args, *ps.rows[idx].tuple, binding, eqs)) {
+        ConjId next = interner.And(acc, row_cond);
+        if (eqs.size() > 0) next = interner.And(next, interner.Intern(eqs));
+        if (!interner.Satisfiable(
+                interner.And(state.global_id, next))) {
+          ++state.stats.pruned_branches;  // never-on prefix: cut the subtree
+        } else {
+          go(pos + 1, next);
+        }
+      }
       binding = std::move(saved_binding);
-      cond.resize(saved_cond);
     }
   };
-  go(0);
+  go(0, ConditionInterner::kTrueConj);
   return added;
+}
+
+/// Advances every predicate's delta window to the rows appended during the
+/// round just finished; counts them into the stats.
+void AdvanceDeltas(EvalState& state) {
+  for (PredState& ps : state.preds) {
+    ps.delta_begin = ps.delta_end;
+    ps.delta_end = ps.rows.size();
+    state.stats.delta_rows += ps.delta_end - ps.delta_begin;
+  }
 }
 
 }  // namespace
 
 CDatabase DatalogOnCTables(const DatalogProgram& program,
                            const CDatabase& database,
-                           ConditionedFixpointStats* stats) {
+                           ConditionedFixpointStats* stats,
+                           const DatalogCTableOptions& options) {
+  ConditionInterner& interner = options.interner != nullptr
+                                    ? *options.interner
+                                    : ConditionInterner::Global();
   EvalState state;
-  state.program = &program;
-  state.global = database.CombinedGlobal();
-  state.rows.resize(program.num_predicates());
+  state.interner = &interner;
+  state.global_id = database.CombinedGlobalId(interner);
+  state.preds.resize(program.num_predicates());
+  size_t interner_size_before = interner.num_conjunctions();
 
-  // Seed extensional predicates with the input rows.
+  // Seed extensional predicates with the input rows; the seeds form the
+  // first delta.
   for (size_t p = 0; p < program.num_edb() && p < database.num_tables();
        ++p) {
     for (const CRow& row : database.table(p).rows()) {
-      Insert(state, static_cast<int>(p),
-             CondRow{row.tuple, Canonicalize(row.local)});
+      Insert(state, static_cast<int>(p), row.tuple, row.LocalId(interner));
     }
   }
+  // Empty-body rules are ground facts: fire them once, into the first delta
+  // (the semi-naive loop only enumerates rules through their body atoms).
+  for (const DatalogRule& rule : program.rules()) {
+    if (rule.body.empty()) FireRule(state, rule, /*delta_pos=*/-1);
+  }
+  AdvanceDeltas(state);
 
-  // Naive conditioned fixpoint.
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    ++state.stats.rounds;
-    for (const DatalogRule& rule : program.rules()) {
-      changed |= FireRule(state, rule);
+  if (options.semi_naive) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      ++state.stats.rounds;
+      for (const DatalogRule& rule : program.rules()) {
+        for (size_t pos = 0; pos < rule.body.size(); ++pos) {
+          const PredState& ps = state.preds[rule.body[pos].predicate];
+          if (ps.delta_begin == ps.delta_end) continue;
+          changed |= FireRule(state, rule, static_cast<int>(pos));
+        }
+      }
+      AdvanceDeltas(state);
+    }
+  } else {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      ++state.stats.rounds;
+      for (const DatalogRule& rule : program.rules()) {
+        changed |= FireRule(state, rule, /*delta_pos=*/-1);
+      }
     }
   }
 
   CDatabase out;
   for (size_t p = 0; p < program.num_predicates(); ++p) {
     CTable t(program.arity(static_cast<int>(p)));
-    for (const CondRow& row : state.rows[p]) {
-      t.AddRow(row.tuple, Conjunction(std::vector<CondAtom>(
-                              row.cond.begin(), row.cond.end())));
+    for (const IRow& row : state.preds[p].rows) {
+      // Resolving through AddRow's interned overload seeds each row's id
+      // cache, so downstream consumers start from the id.
+      if (row.alive) t.AddRow(*row.tuple, row.cond, interner);
     }
-    if (p == 0) t.SetGlobal(state.global);
+    if (p == 0) t.SetGlobal(database.CombinedGlobal());
     out.AddTable(std::move(t));
   }
-  if (stats != nullptr) *stats = state.stats;
+  if (stats != nullptr) {
+    state.stats.interner_conjunctions =
+        interner.num_conjunctions() - interner_size_before;
+    *stats = state.stats;
+  }
   return out;
 }
 

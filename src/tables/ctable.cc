@@ -28,12 +28,17 @@ std::string ToString(TableKind kind) {
 
 void CTable::AddRow(Tuple tuple) {
   assert(static_cast<int>(tuple.size()) == arity_);
-  rows_.push_back(CRow{std::move(tuple), Conjunction()});
+  rows_.push_back(CRow(std::move(tuple)));
 }
 
 void CTable::AddRow(Tuple tuple, Conjunction local) {
   assert(static_cast<int>(tuple.size()) == arity_);
-  rows_.push_back(CRow{std::move(tuple), std::move(local)});
+  rows_.push_back(CRow(std::move(tuple), std::move(local)));
+}
+
+void CTable::AddRow(Tuple tuple, ConjId local, ConditionInterner& interner) {
+  assert(static_cast<int>(tuple.size()) == arity_);
+  rows_.push_back(CRow(std::move(tuple), local, interner));
 }
 
 CTable CTable::FromRelation(const Relation& relation) {
@@ -45,7 +50,7 @@ CTable CTable::FromRelation(const Relation& relation) {
 TableKind CTable::Kind() const {
   bool has_local = false;
   for (const CRow& row : rows_) {
-    if (!row.local.IsTautology()) {
+    if (!row.local().IsTautology()) {
       has_local = true;
       break;
     }
@@ -81,7 +86,7 @@ std::vector<VarId> CTable::Variables() const {
     for (const Term& t : row.tuple) {
       if (t.is_variable()) seen.insert(t.variable());
     }
-    for (VarId v : row.local.Variables()) seen.insert(v);
+    for (VarId v : row.local().Variables()) seen.insert(v);
   }
   for (VarId v : global_.Variables()) seen.insert(v);
   return {seen.begin(), seen.end()};
@@ -93,7 +98,7 @@ std::vector<ConstId> CTable::Constants() const {
     for (const Term& t : row.tuple) {
       if (t.is_constant()) seen.insert(t.constant());
     }
-    for (ConstId c : row.local.Constants()) seen.insert(c);
+    for (ConstId c : row.local().Constants()) seen.insert(c);
   }
   for (ConstId c : global_.Constants()) seen.insert(c);
   return {seen.begin(), seen.end()};
@@ -122,14 +127,15 @@ CTable CTable::Substitute(
     Tuple tuple;
     tuple.reserve(row.tuple.size());
     for (const Term& t : row.tuple) tuple.push_back(apply(t));
-    out.AddRow(std::move(tuple), row.local.Substitute(substitution));
+    out.AddRow(std::move(tuple), row.local().Substitute(substitution));
   }
   out.SetGlobal(global_.Substitute(substitution));
   return out;
 }
 
 CTable CTable::Normalized() const {
-  if (!ConditionInterner::Global().CachedSatisfiable(global_)) {
+  if (!ConditionInterner::Global().Satisfiable(
+          GlobalId(ConditionInterner::Global()))) {
     CTable out(arity_);
     out.SetGlobal(Conjunction{FalseAtom()});
     return out;
@@ -139,7 +145,7 @@ CTable CTable::Normalized() const {
   out.SetGlobal(std::move(global));
   std::vector<CRow> rows;
   for (CRow& row : out.rows_) {
-    rows.push_back(CRow{std::move(row.tuple), row.local.Simplified()});
+    rows.push_back(CRow(std::move(row.tuple), row.local().Simplified()));
   }
   out.rows_ = std::move(rows);
   return out;
@@ -148,44 +154,38 @@ CTable CTable::Normalized() const {
 CTable CTable::Minimized() const {
   ConditionInterner& interner = ConditionInterner::Global();
   CTable normalized = Normalized();
-  if (!interner.CachedSatisfiable(normalized.global())) return normalized;
+  ConjId global_id = normalized.GlobalId(interner);
+  if (!interner.Satisfiable(global_id)) return normalized;
 
   // Drop local atoms implied by the global condition; drop rows whose local
-  // condition is inconsistent with it. The global's interned id is fixed
-  // across the loop, so each distinct local costs one memoized And.
-  ConjId global_id = interner.Intern(normalized.global());
+  // condition is inconsistent with it. The global's interned id is memoized
+  // on the table, so each distinct local costs one memoized And.
   std::vector<CRow> kept;
   for (const CRow& row : normalized.rows()) {
     if (!interner.Satisfiable(
-            interner.And(global_id, interner.Intern(row.local)))) {
+            interner.And(global_id, row.LocalId(interner)))) {
       continue;
     }
-    Conjunction simplified = row.local.Simplified();
+    Conjunction simplified = row.local().Simplified();
     Conjunction local;
     for (const CondAtom& atom : simplified.atoms()) {
       if (!normalized.global().Implies(atom)) local.Add(atom);
     }
-    kept.push_back(CRow{row.tuple, std::move(local)});
+    kept.push_back(CRow(row.tuple, std::move(local)));
   }
 
   // Row subsumption: (t, phi) is redundant if another kept row (t, psi) has
-  // phi implies psi (the subsumer is "on" whenever the subsumed is).
+  // global AND phi implies psi (the subsumer is "on" whenever the subsumed
+  // is) — a memoized pairwise implication between interned ids.
   std::vector<bool> dead(kept.size(), false);
   for (size_t i = 0; i < kept.size(); ++i) {
     if (dead[i]) continue;
+    ConjId phi_i = interner.And(global_id, kept[i].LocalId(interner));
     for (size_t j = 0; j < kept.size(); ++j) {
       if (i == j || dead[j] || kept[i].tuple != kept[j].tuple) continue;
-      Conjunction phi_i =
-          Conjunction::And(normalized.global(), kept[i].local);
-      bool subsumed = true;
-      for (const CondAtom& atom : kept[j].local.atoms()) {
-        if (!phi_i.Implies(atom)) {
-          subsumed = false;
-          break;
-        }
-      }
       // Tie-break identical rows by index to keep exactly one.
-      if (subsumed && (kept[i].local != kept[j].local || j < i)) {
+      if (interner.Implies(phi_i, kept[j].LocalId(interner)) &&
+          (kept[i].local() != kept[j].local() || j < i)) {
         dead[i] = true;
         break;
       }
@@ -195,7 +195,7 @@ CTable CTable::Minimized() const {
   CTable out(arity());
   out.SetGlobal(normalized.global());
   for (size_t i = 0; i < kept.size(); ++i) {
-    if (!dead[i]) out.AddRow(kept[i].tuple, kept[i].local);
+    if (!dead[i]) out.AddRow(kept[i].tuple, kept[i].local());
   }
   return out;
 }
@@ -207,8 +207,8 @@ std::string CTable::ToString(const SymbolTable* symbols) const {
   }
   for (const CRow& row : rows_) {
     out += pw::ToString(row.tuple, symbols);
-    if (!row.local.IsTautology()) {
-      out += "  :: " + row.local.ToString(symbols);
+    if (!row.local().IsTautology()) {
+      out += "  :: " + row.local().ToString(symbols);
     }
     out += "\n";
   }
@@ -223,6 +223,12 @@ size_t CDatabase::AddTable(CTable table) {
 Conjunction CDatabase::CombinedGlobal() const {
   Conjunction out;
   for (const CTable& t : tables_) out.AddAll(t.global());
+  return out;
+}
+
+ConjId CDatabase::CombinedGlobalId(ConditionInterner& interner) const {
+  ConjId out = ConditionInterner::kTrueConj;
+  for (const CTable& t : tables_) out = interner.And(out, t.GlobalId(interner));
   return out;
 }
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "condition/conjunction.h"
+#include "condition/interner.h"
 #include "core/relation.h"
 #include "core/tuple.h"
 
@@ -43,11 +44,65 @@ enum class TableKind {
 std::string ToString(TableKind kind);
 
 /// One row of a c-table: a tuple plus its local condition.
-struct CRow {
-  Tuple tuple;
-  Conjunction local;  // default: true
+///
+/// The condition has two synchronized representations: the materialized
+/// `Conjunction` (the source of truth, meaningful independent of any
+/// interner) and a lazily memoized interned id. `LocalId()` interns once and
+/// then costs a stamp comparison; the cache is keyed on the interner's
+/// generation stamp, so a `ConditionInterner::Clear()` (or asking a
+/// different interner) transparently re-interns instead of returning a stale
+/// id. Rows produced by interned pipelines seed the cache at construction,
+/// so conditions cross layer boundaries without being re-canonicalized.
+///
+/// The id cache is mutable state behind a const row: like the interners
+/// themselves, rows and tables must not be used from multiple threads
+/// concurrently (give each evaluator thread its own copy — the memoized ids
+/// are per-interner anyway, so a shared row would re-intern per thread).
+class CRow {
+ public:
+  CRow() = default;
+  explicit CRow(Tuple tuple) : tuple(std::move(tuple)) {}
+  CRow(Tuple tuple, Conjunction local)
+      : tuple(std::move(tuple)), local_(std::move(local)) {}
 
-  friend bool operator==(const CRow&, const CRow&) = default;
+  /// Builds a row whose condition is already interned in `interner`; the
+  /// materialized form is the canonical resolution and the id cache starts
+  /// hot.
+  CRow(Tuple tuple, ConjId local, ConditionInterner& interner)
+      : tuple(std::move(tuple)),
+        local_(interner.Resolve(local)),
+        local_id_(local),
+        local_stamp_(interner.stamp()) {}
+
+  /// The materialized local condition (default: true).
+  const Conjunction& local() const { return local_; }
+
+  /// Replaces the local condition, dropping the memoized id.
+  void set_local(Conjunction local) {
+    local_ = std::move(local);
+    local_stamp_ = 0;
+  }
+
+  /// The interned id of the local condition in `interner`, memoized against
+  /// the interner's generation stamp.
+  ConjId LocalId(ConditionInterner& interner) const {
+    if (local_stamp_ != interner.stamp()) {
+      local_id_ = interner.Intern(local_);
+      local_stamp_ = interner.stamp();
+    }
+    return local_id_;
+  }
+
+  Tuple tuple;
+
+  friend bool operator==(const CRow& a, const CRow& b) {
+    return a.tuple == b.tuple && a.local_ == b.local_;
+  }
+
+ private:
+  Conjunction local_;  // default: true
+  mutable ConjId local_id_ = 0;
+  mutable uint64_t local_stamp_ = 0;  // 0: no id cached
 };
 
 /// A conditioned table of fixed arity.
@@ -67,11 +122,32 @@ class CTable {
   /// Appends a conditioned row.
   void AddRow(Tuple tuple, Conjunction local);
 
+  /// Appends a row whose condition is already interned in `interner`; the
+  /// row's id cache starts hot, so downstream consumers never re-canonicalize
+  /// it.
+  void AddRow(Tuple tuple, ConjId local, ConditionInterner& interner);
+
   /// Replaces the global condition.
-  void SetGlobal(Conjunction global) { global_ = std::move(global); }
+  void SetGlobal(Conjunction global) {
+    global_ = std::move(global);
+    global_stamp_ = 0;
+  }
 
   /// Conjoins `atom` onto the global condition.
-  void AddGlobalAtom(const CondAtom& atom) { global_.Add(atom); }
+  void AddGlobalAtom(const CondAtom& atom) {
+    global_.Add(atom);
+    global_stamp_ = 0;
+  }
+
+  /// The interned id of the global condition, memoized against the
+  /// interner's generation stamp (the same contract as CRow::LocalId).
+  ConjId GlobalId(ConditionInterner& interner) const {
+    if (global_stamp_ != interner.stamp()) {
+      global_id_ = interner.Intern(global_);
+      global_stamp_ = interner.stamp();
+    }
+    return global_id_;
+  }
 
   /// Builds a table whose rows are the facts of `relation` (a complete
   /// relation is the degenerate c-table with no variables).
@@ -110,7 +186,10 @@ class CTable {
   /// rep().
   CTable Minimized() const;
 
-  friend bool operator==(const CTable&, const CTable&) = default;
+  friend bool operator==(const CTable& a, const CTable& b) {
+    return a.arity_ == b.arity_ && a.rows_ == b.rows_ &&
+           a.global_ == b.global_;
+  }
 
   std::string ToString(const SymbolTable* symbols = nullptr) const;
 
@@ -118,6 +197,8 @@ class CTable {
   int arity_;
   std::vector<CRow> rows_;
   Conjunction global_;
+  mutable ConjId global_id_ = 0;
+  mutable uint64_t global_stamp_ = 0;  // 0: no id cached
 };
 
 /// An n-vector of c-tables (Definition 2.2 generalization). The paper takes
@@ -141,6 +222,11 @@ class CDatabase {
 
   /// The conjunction of all member global conditions.
   Conjunction CombinedGlobal() const;
+
+  /// The interned id of the combined global condition: the memoized And-fold
+  /// of the members' cached GlobalIds (no re-canonicalization when the
+  /// members' ids are already hot).
+  ConjId CombinedGlobalId(ConditionInterner& interner) const;
 
   /// Union of member variable sets, sorted, deduplicated.
   std::vector<VarId> Variables() const;

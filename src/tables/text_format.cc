@@ -299,8 +299,8 @@ std::string FormatCTable(const CTable& table, const SymbolTable* symbols) {
   for (const CRow& row : table.rows()) {
     out << "row";
     for (const Term& t : row.tuple) out << " " << FormatTerm(t, symbols);
-    if (!row.local.IsTautology()) {
-      out << " : " << FormatCondition(row.local, symbols);
+    if (!row.local().IsTautology()) {
+      out << " : " << FormatCondition(row.local(), symbols);
     }
     out << "\n";
   }

@@ -23,7 +23,7 @@ CTable DeleteFact(const CTable& table, const Fact& fact) {
       never_matches = IsTriviallyTrue(Neq(row.tuple[i], Term::Const(fact[i])));
     }
     if (never_matches) {
-      out.AddRow(row.tuple, row.local);
+      out.AddRow(row.tuple, row.local());
       continue;
     }
     // Otherwise emit one guarded copy per escapable position. A
@@ -31,7 +31,7 @@ CTable DeleteFact(const CTable& table, const Fact& fact) {
     for (size_t i = 0; i < row.tuple.size(); ++i) {
       CondAtom differs = Neq(row.tuple[i], Term::Const(fact[i]));
       if (IsTriviallyFalse(differs)) continue;
-      Conjunction local = row.local;
+      Conjunction local = row.local();
       local.Add(differs);
       out.AddRow(row.tuple, std::move(local));
     }

@@ -42,7 +42,7 @@ bool Valuation::Satisfies(const Conjunction& conjunction) const {
 Relation Valuation::Apply(const CTable& table) const {
   Relation out(table.arity());
   for (const CRow& row : table.rows()) {
-    if (Satisfies(row.local)) out.Insert(Apply(row.tuple));
+    if (Satisfies(row.local())) out.Insert(Apply(row.tuple));
   }
   return out;
 }

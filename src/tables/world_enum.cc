@@ -149,8 +149,8 @@ size_t CountDistinctWorlds(const CDatabase& database,
 }
 
 bool RepIsEmpty(const CDatabase& database) {
-  return !ConditionInterner::Global().CachedSatisfiable(
-      database.CombinedGlobal());
+  ConditionInterner& interner = ConditionInterner::Global();
+  return !interner.Satisfiable(database.CombinedGlobalId(interner));
 }
 
 }  // namespace pw

@@ -1,25 +1,39 @@
-// Differential test harness: the Imielinski–Lipski c-table evaluation
-// (interned fast path AND plain seed path) against the per-world oracle.
+// Differential test harness: the fast paths against the per-world oracle.
 //
-// For each randomized (query, c-table) pair we check the representation-
-// system identity of the paper's Section 4 discussion:
+// Three families, all randomized with fixed seeds so failures reproduce:
 //
-//     rep(EvalQueryOnCTables(q, T))  ==  { EvalQuery(q, I) : I in rep(T) }
+//  1. Positive existential queries — the Imielinski–Lipski c-table
+//     evaluation (interned fast path AND plain seed path) must satisfy the
+//     representation-system identity of the paper's Section 4 discussion:
 //
-// worlds compared canonically up to renaming of fresh constants over a
-// shared constant context. The interned path must additionally agree with
-// the un-interned seed path world-for-world. Queries are drawn from a
-// generator covering every positive existential operator (select with = and
-// !=, generalized project with constants, product, union) at random shapes;
-// seeds are fixed, so failures reproduce.
+//       rep(EvalQueryOnCTables(q, T))  ==  { EvalQuery(q, I) : I in rep(T) }
+//
+//     worlds compared canonically up to renaming of fresh constants over a
+//     shared constant context. Queries are drawn from a generator covering
+//     every operator of the fragment (select with = and !=, generalized
+//     project with constants, product, union) at random shapes.
+//
+//  2. Conditioned DATALOG views — the semi-naive interned fixpoint must
+//     produce c-tables identical (up to row order) to the naive strategy,
+//     and both must represent exactly the pointwise DATALOG fixpoint of the
+//     input's worlds, on randomized programs over randomized c-tables.
+//
+//  3. Updates — randomized Insert/Delete/InsertFactIf sequences must act
+//     pointwise on the represented worlds, including when a DATALOG view is
+//     then evaluated over the updated table on both fixpoint strategies.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
+#include <string>
 #include <vector>
 
+#include "datalog/eval.h"
 #include "ilalgebra/ctable_eval.h"
+#include "ilalgebra/datalog_ctable.h"
 #include "ra/eval.h"
+#include "tables/updates.h"
 #include "test_util.h"
 #include "workload/random_gen.h"
 
@@ -134,6 +148,269 @@ TEST(DifferentialEdgeTest, UnsatisfiableGlobalYieldsNoWorlds) {
   EXPECT_TRUE(testutil::CanonicalWorlds(*image, db.Constants()).empty());
   EXPECT_TRUE(testutil::CanonicalImageWorlds({q}, db, db.Constants()).empty());
 }
+
+// --- Conditioned DATALOG views ----------------------------------------------
+
+/// A random range-restricted pure DATALOG program: one binary extensional
+/// predicate, two binary intensional ones, 2-4 rules with 1-2 body atoms
+/// over rule variables and small constants.
+DatalogProgram RandomDatalogProgram(std::mt19937& rng) {
+  DatalogProgram p({2, 2, 2}, /*num_edb=*/1);
+  std::uniform_int_distribution<int> num_rules(2, 4);
+  std::uniform_int_distribution<int> body_len(1, 2);
+  std::uniform_int_distribution<int> any_pred(0, 2);
+  std::uniform_int_distribution<int> idb_pred(1, 2);
+  std::uniform_int_distribution<VarId> var(100, 102);
+  std::uniform_int_distribution<int> small_const(0, 2);
+  std::uniform_int_distribution<int> d10(0, 9);
+  int n = num_rules(rng);
+  for (int r = 0; r < n; ++r) {
+    DatalogRule rule;
+    std::vector<VarId> body_vars;
+    int len = body_len(rng);
+    for (int b = 0; b < len; ++b) {
+      DatalogAtom atom;
+      atom.predicate = any_pred(rng);
+      for (int i = 0; i < 2; ++i) {
+        if (d10(rng) == 0) {
+          atom.args.push_back(C(small_const(rng)));
+        } else {
+          VarId v = var(rng);
+          atom.args.push_back(V(v));
+          body_vars.push_back(v);
+        }
+      }
+      rule.body.push_back(std::move(atom));
+    }
+    rule.head.predicate = idb_pred(rng);
+    for (int i = 0; i < 2; ++i) {
+      if (body_vars.empty() || d10(rng) == 0) {
+        rule.head.args.push_back(C(small_const(rng)));
+      } else {
+        std::uniform_int_distribution<size_t> pick(0, body_vars.size() - 1);
+        rule.head.args.push_back(V(body_vars[pick(rng)]));
+      }
+    }
+    p.AddRule(std::move(rule));
+  }
+  EXPECT_EQ(p.Validate(), "");
+  return p;
+}
+
+/// Rows of a table rendered canonically (tuple + interner-canonical local
+/// condition), sorted — the "identical up to row order" comparison key.
+std::vector<std::string> CanonicalRowSet(const CTable& t) {
+  ConditionInterner& interner = ConditionInterner::Global();
+  std::vector<std::string> out;
+  for (const CRow& row : t.rows()) {
+    out.push_back(ToString(row.tuple) + " :: " +
+                  interner.Resolve(row.LocalId(interner)).ToString());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Asserts the full per-world identity of a conditioned fixpoint: for every
+/// satisfying valuation, sigma(image) == DATALOG fixpoint of sigma(db).
+void ExpectRepresentsFixpointOfEveryWorld(const DatalogProgram& program,
+                                          const CDatabase& db,
+                                          const CDatabase& image) {
+  WorldEnumOptions wopts;
+  bool all_match = true;
+  ForEachSatisfyingValuation(db, wopts, [&](const Valuation& v) {
+    Instance world = v.Apply(db);
+    Instance expected = SemiNaiveEval(program, world);
+    Instance got = v.Apply(image);
+    if (got != expected) {
+      all_match = false;
+      return false;
+    }
+    return true;
+  });
+  EXPECT_TRUE(all_match) << db.ToString() << image.ToString();
+}
+
+class DatalogDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DatalogDifferentialTest, SemiNaiveAgreesWithNaiveAndPerWorld) {
+  // 25 parameter seeds x 4 (program, c-table) pairs: the semi-naive and
+  // naive conditioned fixpoints must produce identical c-tables up to row
+  // order, and both must represent the per-world fixpoints exactly.
+  std::mt19937 rng(3000 + GetParam());
+  for (int round = 0; round < 4; ++round) {
+    DatalogProgram program = RandomDatalogProgram(rng);
+    RandomCTableOptions options = testutil::SmallCTableOptions(
+        /*arity=*/2, /*num_rows=*/3, /*num_constants=*/3, /*num_variables=*/2,
+        /*num_local_atoms=*/GetParam() % 2,
+        /*num_global_atoms=*/GetParam() % 2);
+    CTable t = RandomCTable(options, rng);
+    CDatabase db{t};
+
+    DatalogCTableOptions semi;
+    DatalogCTableOptions naive;
+    naive.semi_naive = false;
+    ConditionedFixpointStats semi_stats;
+    ConditionedFixpointStats naive_stats;
+    CDatabase fast = DatalogOnCTables(program, db, &semi_stats, semi);
+    CDatabase seed = DatalogOnCTables(program, db, &naive_stats, naive);
+
+    ASSERT_EQ(fast.num_tables(), seed.num_tables());
+    for (size_t p = 0; p < fast.num_tables(); ++p) {
+      EXPECT_EQ(CanonicalRowSet(fast.table(p)), CanonicalRowSet(seed.table(p)))
+          << "strategies diverged on predicate " << p << "\n"
+          << program.ToString() << t.ToString();
+    }
+    // Semi-naive re-fires strictly fewer combinations; its duplicate count
+    // must never exceed the naive one.
+    EXPECT_LE(semi_stats.duplicate_rows, naive_stats.duplicate_rows);
+
+    ExpectRepresentsFixpointOfEveryWorld(program, db, fast);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DatalogDifferentialTest,
+                         ::testing::Range(0, 25));
+
+// --- Updates ----------------------------------------------------------------
+
+/// One randomized update against a table: insert, delete, or conditional
+/// insert of a random small fact.
+struct RandomUpdate {
+  enum Kind { kInsert, kDelete, kInsertIf } kind;
+  Fact fact;
+  Conjunction condition;  // kInsertIf only
+};
+
+RandomUpdate DrawUpdate(std::mt19937& rng, int num_constants,
+                        int num_variables) {
+  std::uniform_int_distribution<int> kind(0, 2);
+  std::uniform_int_distribution<int> c(0, num_constants - 1);
+  std::uniform_int_distribution<VarId> v(0, num_variables - 1);
+  std::uniform_int_distribution<int> coin(0, 1);
+  RandomUpdate out;
+  out.kind = static_cast<RandomUpdate::Kind>(kind(rng));
+  out.fact = {c(rng), c(rng)};
+  if (out.kind == RandomUpdate::kInsertIf) {
+    // One atom over the table's own variable pool, so the valuation oracle
+    // covers it.
+    CondAtom atom = coin(rng) ? Eq(V(v(rng)), C(c(rng)))
+                              : Neq(V(v(rng)), C(c(rng)));
+    out.condition = Conjunction{atom};
+  }
+  return out;
+}
+
+CTable ApplyUpdate(const CTable& table, const RandomUpdate& update) {
+  switch (update.kind) {
+    case RandomUpdate::kInsert:
+      return InsertFact(table, update.fact);
+    case RandomUpdate::kDelete:
+      return DeleteFact(table, update.fact);
+    case RandomUpdate::kInsertIf:
+      return InsertFactIf(table, update.fact, update.condition);
+  }
+  return table;
+}
+
+/// The per-world meaning of one update under valuation `v`.
+Relation ApplyUpdateToWorld(const Relation& world, const RandomUpdate& update,
+                            const Valuation& v) {
+  Relation out(world.arity());
+  for (const Fact& f : world) {
+    if (update.kind == RandomUpdate::kDelete && f == update.fact) continue;
+    out.Insert(f);
+  }
+  if (update.kind == RandomUpdate::kInsert ||
+      (update.kind == RandomUpdate::kInsertIf &&
+       v.Satisfies(update.condition))) {
+    out.Insert(update.fact);
+  }
+  return out;
+}
+
+class UpdateDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(UpdateDifferentialTest, UpdateSequencesActPointwiseOnWorlds) {
+  // 25 parameter seeds x 4 rounds: a random c-table, a random sequence of
+  // 1-3 updates. The updated table's worlds must equal the per-world update
+  // results, valuation by valuation; a transitive-closure view evaluated
+  // over the updated table (both fixpoint strategies) must then represent
+  // the per-world fixpoints of those results.
+  std::mt19937 rng(4000 + GetParam());
+  constexpr int kConstants = 3;
+  constexpr int kVariables = 2;
+  for (int round = 0; round < 4; ++round) {
+    RandomCTableOptions options = testutil::SmallCTableOptions(
+        /*arity=*/2, /*num_rows=*/3, /*num_constants=*/kConstants,
+        /*num_variables=*/kVariables,
+        /*num_local_atoms=*/GetParam() % 2,
+        /*num_global_atoms=*/GetParam() % 2);
+    CTable t = RandomCTable(options, rng);
+
+    std::uniform_int_distribution<int> num_updates(1, 3);
+    std::vector<RandomUpdate> updates;
+    CTable updated = t;
+    int n = num_updates(rng);
+    for (int u = 0; u < n; ++u) {
+      updates.push_back(DrawUpdate(rng, kConstants, kVariables));
+      updated = ApplyUpdate(updated, updates.back());
+    }
+
+    // Enumerate over the whole variable pool: deleting a fully-ground row
+    // can drop variables that occur only in its local condition from the
+    // updated table, and the oracle needs every variable any intermediate
+    // condition mentioned bound. The carrier table pins the pool; the
+    // duplicated global condition does not change the satisfying set.
+    WorldEnumOptions wopts;
+    for (ConstId c = 0; c < kConstants; ++c) {
+      wopts.extra_constants.push_back(c);
+    }
+    CTable carrier(1);
+    for (VarId var = 0; var < kVariables; ++var) {
+      carrier.AddRow(Tuple{V(var)});
+    }
+    CDatabase updated_db{updated};
+    CDatabase joint(std::vector<CTable>{t, updated, carrier});
+    bool all_match = true;
+    ForEachSatisfyingValuation(joint, wopts, [&](const Valuation& v) {
+      Relation expected = v.Apply(t);
+      for (const RandomUpdate& update : updates) {
+        expected = ApplyUpdateToWorld(expected, update, v);
+      }
+      if (v.Apply(updated) != expected) {
+        all_match = false;
+        return false;
+      }
+      return true;
+    });
+    EXPECT_TRUE(all_match) << t.ToString() << updated.ToString();
+
+    // A DATALOG view over the updated table: both strategies, same rows,
+    // correct worlds.
+    DatalogProgram tc({2, 2}, /*num_edb=*/1);
+    DatalogRule base;
+    base.head = {1, Tuple{V(100), V(101)}};
+    base.body = {{0, Tuple{V(100), V(101)}}};
+    tc.AddRule(base);
+    DatalogRule step;
+    step.head = {1, Tuple{V(100), V(102)}};
+    step.body = {{1, Tuple{V(100), V(101)}}, {0, Tuple{V(101), V(102)}}};
+    tc.AddRule(step);
+
+    DatalogCTableOptions naive;
+    naive.semi_naive = false;
+    CDatabase fast = DatalogOnCTables(tc, updated_db);
+    CDatabase seed = DatalogOnCTables(tc, updated_db, nullptr, naive);
+    for (size_t p = 0; p < fast.num_tables(); ++p) {
+      EXPECT_EQ(CanonicalRowSet(fast.table(p)), CanonicalRowSet(seed.table(p)))
+          << updated.ToString();
+    }
+    ExpectRepresentsFixpointOfEveryWorld(tc, updated_db, fast);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UpdateDifferentialTest,
+                         ::testing::Range(0, 25));
 
 TEST(DifferentialEdgeTest, InternedPathPrunesUnsatisfiableRows) {
   // A select contradicting a row's local condition: the interned path drops

@@ -36,7 +36,7 @@ TEST(IlAlgebraTest, SelectOnVariableBecomesLocalCondition) {
   auto out = EvalOnCTables(e, db);
   ASSERT_TRUE(out.has_value());
   ASSERT_EQ(out->num_rows(), 1u);
-  EXPECT_EQ(out->row(0).local.atoms()[0], Eq(V(0), C(5)));
+  EXPECT_EQ(out->row(0).local().atoms()[0], Eq(V(0), C(5)));
 }
 
 TEST(IlAlgebraTest, SelectOnConstantsResolvesImmediately) {
@@ -50,7 +50,7 @@ TEST(IlAlgebraTest, SelectOnConstantsResolvesImmediately) {
   auto out = EvalOnCTables(e, db);
   ASSERT_TRUE(out.has_value());
   EXPECT_EQ(out->num_rows(), 1u);  // mismatching row dropped outright
-  EXPECT_TRUE(out->row(0).local.IsTautology());
+  EXPECT_TRUE(out->row(0).local().IsTautology());
 }
 
 TEST(IlAlgebraTest, ProductConjoinsLocals) {
@@ -63,7 +63,7 @@ TEST(IlAlgebraTest, ProductConjoinsLocals) {
                            db);
   ASSERT_TRUE(out.has_value());
   EXPECT_EQ(out->num_rows(), 4u);
-  EXPECT_EQ(out->row(1).local.size(), 2u);  // (row0, row1) pair
+  EXPECT_EQ(out->row(1).local().size(), 2u);  // (row0, row1) pair
 }
 
 TEST(IlAlgebraTest, DiffIsRejected) {

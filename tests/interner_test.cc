@@ -136,20 +136,183 @@ TEST(InternerTest, MemoizedSatisfiabilityAgreesWithUncachedPath) {
         /*num_local_atoms=*/3, /*num_global_atoms=*/3);
     CTable t = RandomCTable(options, rng);
     for (const CRow& row : t.rows()) {
-      EXPECT_EQ(interner.CachedSatisfiable(row.local), row.local.Satisfiable())
-          << row.local.ToString();
+      EXPECT_EQ(interner.CachedSatisfiable(row.local()), row.local().Satisfiable())
+          << row.local().ToString();
     }
     EXPECT_EQ(interner.CachedSatisfiable(t.global()), t.global().Satisfiable())
         << t.global().ToString();
     // Conjoining via the interner agrees with raw concatenation.
     for (const CRow& row : t.rows()) {
-      Conjunction raw = Conjunction::And(t.global(), row.local);
+      Conjunction raw = Conjunction::And(t.global(), row.local());
       ConjId combined =
-          interner.And(interner.Intern(t.global()), interner.Intern(row.local));
+          interner.And(interner.Intern(t.global()), interner.Intern(row.local()));
       EXPECT_EQ(interner.Satisfiable(combined), raw.Satisfiable())
           << raw.ToString();
     }
   }
+}
+
+TEST(InternerTest, ImpliesAgreesWithUncachedImplication) {
+  ConditionInterner interner;
+  // Subset fast path.
+  ConjId strong = interner.Intern(Conjunction{Eq(V(0), C(1)), Neq(V(1), C(2))});
+  ConjId weak = interner.Intern(Conjunction{Eq(V(0), C(1))});
+  EXPECT_TRUE(interner.Implies(strong, weak));
+  EXPECT_FALSE(interner.Implies(weak, strong));
+  // Congruence-only implication (no canonical-atom subset): x0 = x1 AND
+  // x1 = 3 implies x0 = x1, but the canonical form {x0 = 3, x1 = 3} does not
+  // contain that atom.
+  ConjId merged = interner.Intern(Conjunction{Eq(V(0), V(1)), Eq(V(1), C(3))});
+  ConjId link = interner.Intern(Conjunction{Eq(V(0), V(1))});
+  EXPECT_TRUE(interner.Implies(merged, link));
+  EXPECT_FALSE(interner.Implies(link, merged));
+  // Sentinels.
+  EXPECT_TRUE(interner.Implies(ConditionInterner::kFalseConj, strong));
+  EXPECT_TRUE(interner.Implies(strong, ConditionInterner::kTrueConj));
+  EXPECT_FALSE(interner.Implies(strong, ConditionInterner::kFalseConj));
+
+  // Randomized agreement with the uncached per-atom path, repeats exercising
+  // the pair cache.
+  std::mt19937 rng(424242);
+  for (int round = 0; round < 300; ++round) {
+    RandomCTableOptions options = testutil::SmallCTableOptions(
+        /*arity=*/1, /*num_rows=*/2, /*num_constants=*/3, /*num_variables=*/3,
+        /*num_local_atoms=*/3);
+    CTable t = RandomCTable(options, rng);
+    const Conjunction& a = t.row(0).local();
+    const Conjunction& b = t.row(1).local();
+    if (!a.Satisfiable()) continue;
+    bool expected = true;
+    for (const CondAtom& atom : b.atoms()) {
+      if (!a.Implies(atom)) {
+        expected = false;
+        break;
+      }
+    }
+    EXPECT_EQ(interner.Implies(interner.Intern(a), interner.Intern(b)),
+              expected)
+        << a.ToString() << " => " << b.ToString();
+  }
+}
+
+// --- Generational lifecycle --------------------------------------------------
+
+TEST(InternerLifecycleTest, ClearStartsAFreshGeneration) {
+  ConditionInterner interner;
+  uint64_t stamp0 = interner.stamp();
+  EXPECT_NE(stamp0, 0u);
+  EXPECT_EQ(interner.generation(), 0u);
+
+  Conjunction c{Eq(V(0), C(1)), Neq(V(1), C(2))};
+  ConjId id = interner.Intern(c);
+  Conjunction canonical = interner.Resolve(id);
+  EXPECT_GT(interner.num_conjunctions(), 2u);
+
+  interner.Clear();
+  EXPECT_EQ(interner.generation(), 1u);
+  EXPECT_NE(interner.stamp(), stamp0);
+  // Back to the two sentinels; re-interning reproduces the canonical form.
+  EXPECT_EQ(interner.num_conjunctions(), 2u);
+  ConjId re = interner.Intern(c);
+  EXPECT_TRUE(interner.Satisfiable(re));
+  EXPECT_EQ(interner.Resolve(re), canonical);
+}
+
+TEST(InternerLifecycleTest, ClearKeepsStampedRowCachesValid) {
+  // A CRow memoizes its interned id against the interner's stamp; a
+  // generational Clear must make the row re-intern (same canonical verdict)
+  // instead of returning a stale id into the emptied table.
+  ConditionInterner interner;
+  CRow row(Tuple{V(0)}, Conjunction{Eq(V(0), C(1)), Eq(V(1), V(0))});
+  ConjId before = row.LocalId(interner);
+  EXPECT_EQ(row.LocalId(interner), before);  // memoized
+  Conjunction canonical_before = interner.Resolve(before);
+
+  interner.Clear();
+  ConjId after = row.LocalId(interner);
+  EXPECT_TRUE(interner.Satisfiable(after));
+  EXPECT_EQ(interner.Resolve(after), canonical_before);
+
+  // Unsatisfiable rows keep their verdict across generations too.
+  CRow dead(Tuple{V(0)}, Conjunction{Eq(V(0), C(1)), Eq(V(0), C(2))});
+  EXPECT_EQ(dead.LocalId(interner), ConditionInterner::kFalseConj);
+  interner.Clear();
+  EXPECT_EQ(dead.LocalId(interner), ConditionInterner::kFalseConj);
+}
+
+TEST(InternerLifecycleTest, ChildRebasePreservesMemoizedVerdicts) {
+  // Per-request pattern: intern into a scratch child, rebase survivors into
+  // the long-lived parent. Every id maps to a parent id with the same
+  // canonical form; the false/true verdicts map to themselves.
+  ConditionInterner parent;
+  ConjId parent_preexisting = parent.Intern(Conjunction{Neq(V(9), C(9))});
+
+  ConditionInterner child;
+  std::mt19937 rng(20260726);
+  std::vector<ConjId> ids;
+  for (int round = 0; round < 50; ++round) {
+    RandomCTableOptions options = testutil::SmallCTableOptions(
+        /*arity=*/1, /*num_rows=*/1, /*num_constants=*/3, /*num_variables=*/3,
+        /*num_local_atoms=*/3);
+    ids.push_back(child.Intern(RandomCTable(options, rng).row(0).local()));
+  }
+
+  std::vector<ConjId> map = child.RebaseInto(parent);
+  ASSERT_EQ(map.size(), child.num_conjunctions());
+  EXPECT_EQ(map[ConditionInterner::kTrueConj], ConditionInterner::kTrueConj);
+  EXPECT_EQ(map[ConditionInterner::kFalseConj], ConditionInterner::kFalseConj);
+  for (ConjId id : ids) {
+    EXPECT_EQ(child.Satisfiable(id), parent.Satisfiable(map[id]));
+    EXPECT_EQ(child.Resolve(id), parent.Resolve(map[id]));
+  }
+  // Rebase is pure growth on the parent: pre-existing ids are untouched.
+  EXPECT_EQ(parent.Resolve(parent_preexisting),
+            (Conjunction{Neq(V(9), C(9))}));
+}
+
+TEST(InternerLifecycleTest, RepeatedWorkloadsDoNotGrowTheTable) {
+  // Append-only growth bound: re-running the same workload against a live
+  // interner interns nothing new — the table size is bounded by the number
+  // of distinct conditions, not the number of queries. With a per-request
+  // Clear, the size returns to the sentinel floor.
+  ConditionInterner interner;
+  auto workload = [&interner](int seed) {
+    std::mt19937 rng(seed);
+    RandomCTableOptions options = testutil::SmallCTableOptions(
+        /*arity=*/2, /*num_rows=*/4, /*num_constants=*/3, /*num_variables=*/3,
+        /*num_local_atoms=*/2, /*num_global_atoms=*/2);
+    CTable t = RandomCTable(options, rng);
+    for (const CRow& row : t.rows()) {
+      interner.And(t.GlobalId(interner), row.LocalId(interner));
+    }
+  };
+
+  workload(1);
+  size_t after_first = interner.num_conjunctions();
+  for (int repeat = 0; repeat < 10; ++repeat) workload(1);
+  EXPECT_EQ(interner.num_conjunctions(), after_first);
+
+  workload(2);  // a genuinely new request may grow the table...
+  interner.Clear();
+  EXPECT_EQ(interner.num_conjunctions(), 2u);  // ...until its generation ends
+  workload(3);
+  EXPECT_TRUE(interner.num_conjunctions() >= 2u);
+}
+
+TEST(InternerLifecycleTest, TableGlobalIdCacheTracksMutationAndGeneration) {
+  ConditionInterner interner;
+  CTable t(1);
+  t.SetGlobal(Conjunction{Neq(V(0), C(1))});
+  ConjId g1 = t.GlobalId(interner);
+  EXPECT_EQ(t.GlobalId(interner), g1);
+  // Mutating the global condition drops the cache.
+  t.AddGlobalAtom(Eq(V(0), C(1)));
+  EXPECT_EQ(t.GlobalId(interner), ConditionInterner::kFalseConj);
+  // A fresh generation re-interns transparently.
+  t.SetGlobal(Conjunction{Neq(V(0), C(1))});
+  Conjunction canonical = interner.Resolve(t.GlobalId(interner));
+  interner.Clear();
+  EXPECT_EQ(interner.Resolve(t.GlobalId(interner)), canonical);
 }
 
 TEST(InternerTest, CanonicalizationPreservesSemantics) {
@@ -162,7 +325,7 @@ TEST(InternerTest, CanonicalizationPreservesSemantics) {
         /*arity=*/1, /*num_rows=*/1, /*num_constants=*/3, /*num_variables=*/4,
         /*num_local_atoms=*/4);
     CTable t = RandomCTable(options, rng);
-    const Conjunction& original = t.row(0).local;
+    const Conjunction& original = t.row(0).local();
     if (!original.Satisfiable()) {
       EXPECT_EQ(interner.Intern(original), ConditionInterner::kFalseConj);
       continue;

@@ -36,7 +36,7 @@ TEST(MinimizeTest, DropsLocalAtomsImpliedByGlobal) {
   t.AddRow(Tuple{C(5)}, Conjunction{Eq(V(0), C(1)), Neq(V(1), C(3))});
   CTable m = t.Minimized();
   ASSERT_EQ(m.num_rows(), 1u);
-  EXPECT_EQ(m.row(0).local.size(), 1u);  // only the x1 != 3 atom remains
+  EXPECT_EQ(m.row(0).local().size(), 1u);  // only the x1 != 3 atom remains
 }
 
 TEST(MinimizeTest, SubsumesConditionalDuplicates) {
@@ -45,7 +45,7 @@ TEST(MinimizeTest, SubsumesConditionalDuplicates) {
   t.AddRow(Tuple{C(1)}, Conjunction{Eq(V(0), C(7))});
   CTable m = t.Minimized();
   EXPECT_EQ(m.num_rows(), 1u);
-  EXPECT_TRUE(m.row(0).local.IsTautology());
+  EXPECT_TRUE(m.row(0).local().IsTautology());
 }
 
 TEST(MinimizeTest, KeepsOneOfIdenticalRows) {

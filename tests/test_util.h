@@ -34,7 +34,7 @@ inline CTable MakeTable(int arity, const std::vector<Tuple>& rows) {
 /// Builds a table from conditioned rows.
 inline CTable MakeTable(int arity, const std::vector<CRow>& rows) {
   CTable t(arity);
-  for (const CRow& row : rows) t.AddRow(row.tuple, row.local);
+  for (const CRow& row : rows) t.AddRow(row.tuple, row.local());
   return t;
 }
 

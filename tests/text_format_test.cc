@@ -37,7 +37,7 @@ TEST(TextFormatTest, ParsesGlobalAndLocalConditions) {
       nullptr);
   ASSERT_TRUE(r.ok()) << r.error;
   EXPECT_EQ(r.table->global().size(), 2u);
-  EXPECT_EQ(r.table->row(0).local.atoms()[0], Eq(V(0), V(1)));
+  EXPECT_EQ(r.table->row(0).local().atoms()[0], Eq(V(0), V(1)));
 }
 
 TEST(TextFormatTest, ParsesNamedConstants) {

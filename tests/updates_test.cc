@@ -48,7 +48,7 @@ TEST(UpdatesTest, DeleteKeepsNonMatchingRowsUnguarded) {
   t.AddRow(Tuple{C(1), V(0)});
   CTable deleted = DeleteFact(t, Fact{2, 2});
   ASSERT_EQ(deleted.num_rows(), 1u);
-  EXPECT_TRUE(deleted.row(0).local.IsTautology());
+  EXPECT_TRUE(deleted.row(0).local().IsTautology());
 }
 
 TEST(UpdatesTest, DeleteExpandsMatchableRows) {

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Gate the interned fast paths against their seed pairs.
+
+Reads google-benchmark JSON files (--benchmark_out_format=json) and pairs
+each fast-path benchmark with its seed-path twin by name:
+
+    *_SemiNaive/N      vs  *_Naive/N        (conditioned Datalog fixpoint)
+    *_InternedPath/N   vs  *_SeedPath/N     (Imielinski-Lipski image)
+
+Exits nonzero when any fast path takes more than --max-ratio times its seed
+pair (default 2.0, the CI regression budget), or when no pair was found at
+all (which means the bench names drifted and the gate is vacuous).
+"""
+
+import argparse
+import json
+import sys
+
+PAIRS = [("SemiNaive", "Naive"), ("InternedPath", "SeedPath")]
+
+
+def load_times(paths):
+    times = {}
+    for path in paths:
+        with open(path) as f:
+            data = json.load(f)
+        for bench in data.get("benchmarks", []):
+            if bench.get("run_type", "iteration") != "iteration":
+                continue
+            times[bench["name"]] = (float(bench["real_time"]),
+                                    bench.get("time_unit", "ns"))
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_files", nargs="+",
+                        help="google-benchmark JSON output files")
+    parser.add_argument("--max-ratio", type=float, default=2.0,
+                        help="maximum fast/seed time ratio (default 2.0)")
+    args = parser.parse_args()
+
+    times = load_times(args.json_files)
+    failures = []
+    checked = 0
+    for name in sorted(times):
+        for fast_tag, seed_tag in PAIRS:
+            if fast_tag not in name:
+                continue
+            seed_name = name.replace(fast_tag, seed_tag)
+            if seed_name == name or seed_name not in times:
+                continue
+            checked += 1
+            fast_time, unit = times[name]
+            seed_time, _ = times[seed_name]
+            ratio = fast_time / seed_time if seed_time > 0 else 0.0
+            status = "FAIL" if ratio > args.max_ratio else "ok"
+            print(f"[{status}] {name}: {fast_time:.0f}{unit} vs "
+                  f"{seed_name}: {seed_time:.0f}{unit} (ratio {ratio:.2f}, "
+                  f"limit {args.max_ratio:.2f})")
+            if ratio > args.max_ratio:
+                failures.append(name)
+
+    if checked == 0:
+        print("error: no fast/seed benchmark pairs found in "
+              f"{args.json_files}; did the benchmark names change?",
+              file=sys.stderr)
+        return 1
+    if failures:
+        print(f"{len(failures)} of {checked} fast paths regressed past "
+              f"{args.max_ratio:.1f}x", file=sys.stderr)
+        return 1
+    print(f"all {checked} fast-path pairs within {args.max_ratio:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
