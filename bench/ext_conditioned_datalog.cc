@@ -55,10 +55,11 @@ CDatabase NullChain(int n, int gap, bool shared = false) {
 }
 
 void RunFixpoint(benchmark::State& state, const CDatabase& db,
-                 bool semi_naive, const char* label) {
+                 bool semi_naive, const char* label, bool use_index = true) {
   DatalogProgram tc = TransitiveClosure();
   DatalogCTableOptions options;
   options.semi_naive = semi_naive;
+  options.use_index = use_index;
   ConditionedFixpointStats stats;
   for (auto _ : state) {
     CDatabase out = DatalogOnCTables(tc, db, &stats, options);
@@ -68,6 +69,8 @@ void RunFixpoint(benchmark::State& state, const CDatabase& db,
   state.counters["subsumed"] = static_cast<double>(stats.subsumed_rows);
   state.counters["dups"] = static_cast<double>(stats.duplicate_rows);
   state.counters["rounds"] = static_cast<double>(stats.rounds);
+  state.counters["probes"] = static_cast<double>(stats.index_probes);
+  state.counters["hits"] = static_cast<double>(stats.index_hits);
   state.SetLabel(label);
 }
 
@@ -105,6 +108,49 @@ void BM_ConditionedTC_NullChain_Naive(benchmark::State& state) {
 }
 BENCHMARK(BM_ConditionedTC_NullChain_Naive)
     ->DenseRange(6, 9, 3)
+    ->Unit(benchmark::kMicrosecond);
+
+// Indexed vs scan-based body-atom matching, both semi-naive: the step rule
+// q(x,z) :- q(x,y), p(y,z) matches each delta row against p through the hash
+// index on p's first column instead of scanning all n edges — the
+// O(n + output) vs O(n * delta) join loop. Paired as *_IndexedJoin /
+// *_ScanJoin for the CI gate.
+void BM_ConditionedTC_GroundChain_IndexedJoin(benchmark::State& state) {
+  CDatabase db = NullChain(static_cast<int>(state.range(0)), /*gap=*/0);
+  RunFixpoint(state, db, true, "ground chain, semi-naive indexed join",
+              /*use_index=*/true);
+}
+BENCHMARK(BM_ConditionedTC_GroundChain_IndexedJoin)
+    ->DenseRange(8, 32, 8)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ConditionedTC_GroundChain_ScanJoin(benchmark::State& state) {
+  CDatabase db = NullChain(static_cast<int>(state.range(0)), /*gap=*/0);
+  RunFixpoint(state, db, true, "ground chain, semi-naive scan join",
+              /*use_index=*/false);
+}
+BENCHMARK(BM_ConditionedTC_GroundChain_ScanJoin)
+    ->DenseRange(8, 32, 8)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ConditionedTC_SharedNullChain_IndexedJoin(benchmark::State& state) {
+  CDatabase db =
+      NullChain(static_cast<int>(state.range(0)), /*gap=*/3, /*shared=*/true);
+  RunFixpoint(state, db, true, "shared-null chain, semi-naive indexed join",
+              /*use_index=*/true);
+}
+BENCHMARK(BM_ConditionedTC_SharedNullChain_IndexedJoin)
+    ->DenseRange(8, 24, 8)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ConditionedTC_SharedNullChain_ScanJoin(benchmark::State& state) {
+  CDatabase db =
+      NullChain(static_cast<int>(state.range(0)), /*gap=*/3, /*shared=*/true);
+  RunFixpoint(state, db, true, "shared-null chain, semi-naive scan join",
+              /*use_index=*/false);
+}
+BENCHMARK(BM_ConditionedTC_SharedNullChain_ScanJoin)
+    ->DenseRange(8, 24, 8)
     ->Unit(benchmark::kMicrosecond);
 
 // One shared null across every gap: the same handful of conditions recurs in

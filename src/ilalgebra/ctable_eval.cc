@@ -1,6 +1,11 @@
 #include "ilalgebra/ctable_eval.h"
 
+#include <memory>
+#include <optional>
+#include <utility>
 #include <vector>
+
+#include "tables/tuple_index.h"
 
 namespace pw {
 
@@ -19,6 +24,93 @@ bool ApplySelectAtom(const SelectAtom& atom, const Tuple& tuple,
   CondAtom cond = atom.is_equality ? Eq(l, r) : Neq(l, r);
   if (IsTriviallyFalse(cond)) return false;
   if (!IsTriviallyTrue(cond)) local.Add(cond);
+  return true;
+}
+
+// --- Hash-join planning ------------------------------------------------------
+//
+// A selection directly over a product is a join. The plan splits the select
+// atoms by which side of the product they touch:
+//
+//   - an equality between a left column and a right column becomes a join
+//     key (the hash columns of the build-side index);
+//   - an atom touching columns of only one side becomes a pushdown filter,
+//     applied to that side's rows before any pairing;
+//   - everything else (cross-side inequalities, constant-only atoms) stays
+//     in `pair_atoms` and is applied per emitted pair.
+//
+// Fused execution is output-identical to product-then-select: the index and
+// the pushdown only skip combinations the selection would have dropped on a
+// trivially-false ground atom (or, on the interned path, an unsatisfiable
+// condition), and candidates are enumerated in ascending row order, which is
+// exactly the order of the nested loop they replace.
+
+struct JoinPlan {
+  bool fused = false;
+  int left_arity = 0;
+  std::vector<int> left_cols;   // aligned join key columns: probe side ...
+  std::vector<int> right_cols;  // ... and build side (right-local coords)
+  std::vector<SelectAtom> left_atoms;   // pushdown, left coordinates
+  std::vector<SelectAtom> right_atoms;  // pushdown, rebased to right
+  std::vector<SelectAtom> pair_atoms;   // per-pair, product coordinates
+                                        // (join keys included: they emit the
+                                        // condition atoms variable matches
+                                        // require)
+};
+
+/// -1: constant, 0: left column, 1: right column.
+int SideOf(const ColOrConst& o, int left_arity) {
+  if (!o.is_column) return -1;
+  return o.column < left_arity ? 0 : 1;
+}
+
+SelectAtom RebasedToRight(SelectAtom a, int left_arity) {
+  if (a.lhs.is_column) a.lhs.column -= left_arity;
+  if (a.rhs.is_column) a.rhs.column -= left_arity;
+  return a;
+}
+
+JoinPlan PlanSelectOverProduct(const RaExpr& expr, bool enabled) {
+  JoinPlan plan;
+  if (!enabled || expr.op() != RaOp::kSelect ||
+      expr.input().op() != RaOp::kProduct) {
+    return plan;
+  }
+  plan.left_arity = expr.input().left().arity();
+  for (const SelectAtom& a : expr.atoms()) {
+    int lhs = SideOf(a.lhs, plan.left_arity);
+    int rhs = SideOf(a.rhs, plan.left_arity);
+    if (a.is_equality && lhs + rhs == 1 && lhs != rhs) {  // one col per side
+      const ColOrConst& left = lhs == 0 ? a.lhs : a.rhs;
+      const ColOrConst& right = lhs == 0 ? a.rhs : a.lhs;
+      plan.left_cols.push_back(left.column);
+      plan.right_cols.push_back(right.column - plan.left_arity);
+      plan.pair_atoms.push_back(a);
+      continue;
+    }
+    bool touches_left = lhs == 0 || rhs == 0;
+    bool touches_right = lhs == 1 || rhs == 1;
+    if (touches_left && !touches_right) {
+      plan.left_atoms.push_back(a);
+    } else if (touches_right && !touches_left) {
+      plan.right_atoms.push_back(RebasedToRight(a, plan.left_arity));
+    } else {
+      plan.pair_atoms.push_back(a);
+    }
+  }
+  plan.fused = !plan.left_cols.empty();
+  return plan;
+}
+
+/// True iff no atom instantiates to a trivially false ground atom on
+/// `tuple` — a row failing this can never survive the selection, whatever
+/// the other side contributes. (Pre-filter only: appended condition atoms
+/// are discarded; the pair loop re-applies every atom in query order.)
+bool PassesFilter(const std::vector<SelectAtom>& atoms, const Tuple& tuple) {
+  Conjunction scratch;
+  for (const SelectAtom& a : atoms) {
+    if (!ApplySelectAtom(a, tuple, scratch)) return false;
+  }
   return true;
 }
 
@@ -42,7 +134,157 @@ struct InternedTable {
 
 std::optional<InternedTable> EvalInterned(const RaExpr& expr,
                                           const CDatabase& database,
-                                          ConditionInterner& interner) {
+                                          ConditionInterner& interner,
+                                          const CTableEvalOptions& options,
+                                          CTableEvalStats& stats);
+
+/// Conjoins the instantiated pushdown atoms onto a side row's condition.
+/// Returns false when the row can never pair (a trivially false atom, or an
+/// unsatisfiable strengthened condition). Pushing side atoms into side
+/// conditions is output-preserving on this path: the per-pair condition is
+/// canonicalized from the union of all contributed atoms, so it interns to
+/// the same id whether a side atom joined before or during pairing.
+bool StrengthenInterned(const std::vector<SelectAtom>& atoms,
+                        const Tuple& tuple, ConditionInterner& interner,
+                        ConjId& cond) {
+  Conjunction sel;
+  for (const SelectAtom& a : atoms) {
+    if (!ApplySelectAtom(a, tuple, sel)) return false;
+  }
+  if (sel.size() > 0) cond = interner.And(cond, interner.Intern(sel));
+  return interner.Satisfiable(cond);
+}
+
+/// The build (right) side of an interned hash join: per-candidate tuples and
+/// strengthened conditions (kFalseConj marks a dropped row), plus the index
+/// to probe. A relation-ref side indexes the source CTable through its
+/// cached, stamp-invalidated index — reused across queries and fixpoint
+/// rounds; any other subexpression is evaluated and indexed ephemerally.
+struct InternedBuildSide {
+  InternedTable owned;  // evaluated subtree (empty for a relation ref)
+  std::vector<const Tuple*> tuples;
+  std::vector<ConjId> conds;
+  std::unique_ptr<TupleIndex> ephemeral;
+  const TupleIndex* index = nullptr;
+};
+
+std::optional<InternedBuildSide> BuildInternedSide(
+    const RaExpr& right, const JoinPlan& plan, const CDatabase& database,
+    ConditionInterner& interner, const CTableEvalOptions& options,
+    CTableEvalStats& stats) {
+  InternedBuildSide out;
+  if (right.op() == RaOp::kRel) {
+    const CTable& table = database.table(right.rel_index());
+    bool built = false;
+    out.index = &table.Index(plan.right_cols, &built);
+    if (built) ++stats.index_builds;
+    out.tuples.reserve(table.num_rows());
+    out.conds.reserve(table.num_rows());
+    for (const CRow& row : table.rows()) {
+      ConjId cond = row.LocalId(interner);
+      if (!interner.Satisfiable(cond) ||
+          !StrengthenInterned(plan.right_atoms, row.tuple, interner, cond)) {
+        ++stats.pushdown_dropped_rows;
+        cond = ConditionInterner::kFalseConj;
+      }
+      out.tuples.push_back(&row.tuple);
+      out.conds.push_back(cond);
+    }
+    return out;
+  }
+  auto r = EvalInterned(right, database, interner, options, stats);
+  if (!r) return std::nullopt;
+  out.owned.arity = r->arity;
+  for (InternedRow& row : r->rows) {
+    ConjId cond = row.cond;
+    if (!StrengthenInterned(plan.right_atoms, row.tuple, interner, cond)) {
+      ++stats.pushdown_dropped_rows;
+      continue;
+    }
+    out.owned.rows.push_back({std::move(row.tuple), cond});
+  }
+  out.ephemeral = std::make_unique<TupleIndex>(plan.right_cols);
+  ++stats.index_builds;
+  out.tuples.reserve(out.owned.rows.size());
+  out.conds.reserve(out.owned.rows.size());
+  for (size_t i = 0; i < out.owned.rows.size(); ++i) {
+    out.ephemeral->Add(out.owned.rows[i].tuple, i);
+    out.tuples.push_back(&out.owned.rows[i].tuple);
+    out.conds.push_back(out.owned.rows[i].cond);
+  }
+  out.index = out.ephemeral.get();
+  return out;
+}
+
+std::optional<InternedTable> EvalJoinInterned(const RaExpr& expr,
+                                              const JoinPlan& plan,
+                                              const CDatabase& database,
+                                              ConditionInterner& interner,
+                                              const CTableEvalOptions& options,
+                                              CTableEvalStats& stats) {
+  const RaExpr& prod = expr.input();
+  auto l = EvalInterned(prod.left(), database, interner, options, stats);
+  if (!l) return std::nullopt;
+  auto build = BuildInternedSide(prod.right(), plan, database, interner,
+                                 options, stats);
+  if (!build) return std::nullopt;
+  ++stats.hash_joins;
+
+  InternedTable out{expr.arity(), {}};
+  const size_t num_build_rows = build->tuples.size();
+  Tuple key;
+  std::vector<size_t> candidates;
+  for (InternedRow& lrow : l->rows) {
+    ConjId lcond = lrow.cond;
+    if (!StrengthenInterned(plan.left_atoms, lrow.tuple, interner, lcond)) {
+      ++stats.pushdown_dropped_rows;
+      continue;
+    }
+    key.clear();
+    for (int c : plan.left_cols) key.push_back(lrow.tuple[c]);
+    // A key with a null in it matches any build row under a condition, so
+    // only ground keys can probe; others fall back to the full scan.
+    bool keyed = TupleIndex::IsGroundKey(key);
+    if (keyed) {
+      ++stats.index_probes;
+      candidates = build->index->Candidates(key, 0, num_build_rows);
+      stats.index_hits += candidates.size();
+    }
+    size_t count = keyed ? candidates.size() : num_build_rows;
+    (keyed ? stats.join_pairs : stats.scan_pairs) += count;
+    for (size_t k = 0; k < count; ++k) {
+      size_t id = keyed ? candidates[k] : k;
+      ConjId rcond = build->conds[id];
+      if (rcond == ConditionInterner::kFalseConj) continue;
+      ConjId combined = interner.And(lcond, rcond);
+      if (!interner.Satisfiable(combined)) continue;
+      Tuple t = lrow.tuple;
+      const Tuple& rt = *build->tuples[id];
+      t.insert(t.end(), rt.begin(), rt.end());
+      Conjunction sel;
+      bool keep = true;
+      for (const SelectAtom& a : plan.pair_atoms) {
+        if (!ApplySelectAtom(a, t, sel)) {
+          keep = false;
+          break;
+        }
+      }
+      if (!keep) continue;
+      if (sel.size() > 0) {
+        combined = interner.And(combined, interner.Intern(sel));
+        if (!interner.Satisfiable(combined)) continue;
+      }
+      out.rows.push_back({std::move(t), combined});
+    }
+  }
+  return out;
+}
+
+std::optional<InternedTable> EvalInterned(const RaExpr& expr,
+                                          const CDatabase& database,
+                                          ConditionInterner& interner,
+                                          const CTableEvalOptions& options,
+                                          CTableEvalStats& stats) {
   switch (expr.op()) {
     case RaOp::kRel: {
       InternedTable out{expr.arity(), {}};
@@ -65,7 +307,7 @@ std::optional<InternedTable> EvalInterned(const RaExpr& expr,
       return out;
     }
     case RaOp::kProject: {
-      auto in = EvalInterned(expr.input(), database, interner);
+      auto in = EvalInterned(expr.input(), database, interner, options, stats);
       if (!in) return std::nullopt;
       InternedTable out{expr.arity(), {}};
       out.rows.reserve(in->rows.size());
@@ -80,7 +322,12 @@ std::optional<InternedTable> EvalInterned(const RaExpr& expr,
       return out;
     }
     case RaOp::kSelect: {
-      auto in = EvalInterned(expr.input(), database, interner);
+      JoinPlan plan = PlanSelectOverProduct(expr, options.use_hash_join);
+      if (plan.fused) {
+        return EvalJoinInterned(expr, plan, database, interner, options,
+                                stats);
+      }
+      auto in = EvalInterned(expr.input(), database, interner, options, stats);
       if (!in) return std::nullopt;
       InternedTable out{expr.arity(), {}};
       for (InternedRow& row : in->rows) {
@@ -100,9 +347,11 @@ std::optional<InternedTable> EvalInterned(const RaExpr& expr,
       return out;
     }
     case RaOp::kProduct: {
-      auto l = EvalInterned(expr.left(), database, interner);
-      auto r = EvalInterned(expr.right(), database, interner);
+      auto l = EvalInterned(expr.left(), database, interner, options, stats);
+      auto r = EvalInterned(expr.right(), database, interner, options, stats);
       if (!l || !r) return std::nullopt;
+      ++stats.nested_loop_products;
+      stats.scan_pairs += l->rows.size() * r->rows.size();
       InternedTable out{expr.arity(), {}};
       for (const InternedRow& rl : l->rows) {
         for (const InternedRow& rr : r->rows) {
@@ -116,8 +365,8 @@ std::optional<InternedTable> EvalInterned(const RaExpr& expr,
       return out;
     }
     case RaOp::kUnion: {
-      auto l = EvalInterned(expr.left(), database, interner);
-      auto r = EvalInterned(expr.right(), database, interner);
+      auto l = EvalInterned(expr.left(), database, interner, options, stats);
+      auto r = EvalInterned(expr.right(), database, interner, options, stats);
       if (!l || !r) return std::nullopt;
       InternedTable out{expr.arity(), std::move(l->rows)};
       out.rows.insert(out.rows.end(),
@@ -133,13 +382,120 @@ std::optional<InternedTable> EvalInterned(const RaExpr& expr,
 
 // --- Plain seed path -------------------------------------------------------
 
-std::optional<CTable> EvalPlain(const RaExpr& expr,
-                                const CDatabase& database) {
+std::optional<CTable> EvalPlain(const RaExpr& expr, const CDatabase& database,
+                                const CTableEvalOptions& options,
+                                CTableEvalStats& stats);
+
+/// The build (right) side of a plain hash join. A relation-ref side probes
+/// the source CTable's cached index over all rows (nullptr marks a row the
+/// pushdown dropped); any other subexpression is evaluated, filtered, and
+/// indexed ephemerally.
+struct PlainBuildSide {
+  std::optional<CTable> owned;  // evaluated subtree (empty for relation ref)
+  std::vector<const CRow*> rows;
+  std::unique_ptr<TupleIndex> ephemeral;
+  const TupleIndex* index = nullptr;
+};
+
+std::optional<PlainBuildSide> BuildPlainSide(const RaExpr& right,
+                                             const JoinPlan& plan,
+                                             const CDatabase& database,
+                                             const CTableEvalOptions& options,
+                                             CTableEvalStats& stats) {
+  PlainBuildSide out;
+  if (right.op() == RaOp::kRel) {
+    const CTable& table = database.table(right.rel_index());
+    bool built = false;
+    out.index = &table.Index(plan.right_cols, &built);
+    if (built) ++stats.index_builds;
+    out.rows.reserve(table.num_rows());
+    for (const CRow& row : table.rows()) {
+      if (PassesFilter(plan.right_atoms, row.tuple)) {
+        out.rows.push_back(&row);
+      } else {
+        ++stats.pushdown_dropped_rows;
+        out.rows.push_back(nullptr);
+      }
+    }
+    return out;
+  }
+  auto r = EvalPlain(right, database, options, stats);
+  if (!r) return std::nullopt;
+  out.owned = std::move(*r);
+  out.ephemeral = std::make_unique<TupleIndex>(plan.right_cols);
+  ++stats.index_builds;
+  for (const CRow& row : out.owned->rows()) {
+    if (!PassesFilter(plan.right_atoms, row.tuple)) {
+      ++stats.pushdown_dropped_rows;
+      continue;
+    }
+    out.ephemeral->Add(row.tuple, out.rows.size());
+    out.rows.push_back(&row);
+  }
+  out.index = out.ephemeral.get();
+  return out;
+}
+
+std::optional<CTable> EvalJoinPlain(const RaExpr& expr, const JoinPlan& plan,
+                                    const CDatabase& database,
+                                    const CTableEvalOptions& options,
+                                    CTableEvalStats& stats) {
+  const RaExpr& prod = expr.input();
+  auto l = EvalPlain(prod.left(), database, options, stats);
+  if (!l) return std::nullopt;
+  auto build = BuildPlainSide(prod.right(), plan, database, options, stats);
+  if (!build) return std::nullopt;
+  ++stats.hash_joins;
+
+  CTable out(expr.arity());
+  const size_t num_build_rows = build->rows.size();
+  Tuple key;
+  std::vector<size_t> candidates;
+  for (const CRow& lrow : l->rows()) {
+    if (!PassesFilter(plan.left_atoms, lrow.tuple)) {
+      ++stats.pushdown_dropped_rows;
+      continue;
+    }
+    key.clear();
+    for (int c : plan.left_cols) key.push_back(lrow.tuple[c]);
+    bool keyed = TupleIndex::IsGroundKey(key);
+    if (keyed) {
+      ++stats.index_probes;
+      candidates = build->index->Candidates(key, 0, num_build_rows);
+      stats.index_hits += candidates.size();
+    }
+    size_t count = keyed ? candidates.size() : num_build_rows;
+    (keyed ? stats.join_pairs : stats.scan_pairs) += count;
+    for (size_t k = 0; k < count; ++k) {
+      const CRow* rrow = build->rows[keyed ? candidates[k] : k];
+      if (rrow == nullptr) continue;
+      Tuple t = lrow.tuple;
+      t.insert(t.end(), rrow->tuple.begin(), rrow->tuple.end());
+      // Every atom, in query order, against the concatenated tuple — the
+      // emitted conjunction is byte-identical to product-then-select.
+      Conjunction local = Conjunction::And(lrow.local(), rrow->local());
+      bool keep = true;
+      for (const SelectAtom& a : expr.atoms()) {
+        if (!ApplySelectAtom(a, t, local)) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep) out.AddRow(std::move(t), std::move(local));
+    }
+  }
+  return out;
+}
+
+std::optional<CTable> EvalPlain(const RaExpr& expr, const CDatabase& database,
+                                const CTableEvalOptions& options,
+                                CTableEvalStats& stats) {
   switch (expr.op()) {
     case RaOp::kRel: {
       CTable out(expr.arity());
       const CTable& in = database.table(expr.rel_index());
-      for (const CRow& row : in.rows()) out.AddRow(row.tuple, row.local());
+      // Row copies keep their memoized condition-id caches.
+      for (const CRow& row : in.rows()) out.AddRow(row);
       return out;
     }
     case RaOp::kConstRel: {
@@ -148,7 +504,7 @@ std::optional<CTable> EvalPlain(const RaExpr& expr,
       return out;
     }
     case RaOp::kProject: {
-      auto in = EvalPlain(expr.input(), database);
+      auto in = EvalPlain(expr.input(), database, options, stats);
       if (!in) return std::nullopt;
       CTable out(expr.arity());
       for (const CRow& row : in->rows()) {
@@ -157,12 +513,16 @@ std::optional<CTable> EvalPlain(const RaExpr& expr,
         for (const ColOrConst& o : expr.outputs()) {
           t.push_back(ResolveTerm(o, row.tuple));
         }
-        out.AddRow(std::move(t), row.local());
+        out.AddRow(row.WithTuple(std::move(t)));
       }
       return out;
     }
     case RaOp::kSelect: {
-      auto in = EvalPlain(expr.input(), database);
+      JoinPlan plan = PlanSelectOverProduct(expr, options.use_hash_join);
+      if (plan.fused) {
+        return EvalJoinPlain(expr, plan, database, options, stats);
+      }
+      auto in = EvalPlain(expr.input(), database, options, stats);
       if (!in) return std::nullopt;
       CTable out(expr.arity());
       for (const CRow& row : in->rows()) {
@@ -179,9 +539,11 @@ std::optional<CTable> EvalPlain(const RaExpr& expr,
       return out;
     }
     case RaOp::kProduct: {
-      auto l = EvalPlain(expr.left(), database);
-      auto r = EvalPlain(expr.right(), database);
+      auto l = EvalPlain(expr.left(), database, options, stats);
+      auto r = EvalPlain(expr.right(), database, options, stats);
       if (!l || !r) return std::nullopt;
+      ++stats.nested_loop_products;
+      stats.scan_pairs += l->num_rows() * r->num_rows();
       CTable out(expr.arity());
       for (const CRow& rl : l->rows()) {
         for (const CRow& rr : r->rows()) {
@@ -193,12 +555,13 @@ std::optional<CTable> EvalPlain(const RaExpr& expr,
       return out;
     }
     case RaOp::kUnion: {
-      auto l = EvalPlain(expr.left(), database);
-      auto r = EvalPlain(expr.right(), database);
+      auto l = EvalPlain(expr.left(), database, options, stats);
+      auto r = EvalPlain(expr.right(), database, options, stats);
       if (!l || !r) return std::nullopt;
       CTable out(expr.arity());
-      for (const CRow& row : l->rows()) out.AddRow(row.tuple, row.local());
-      for (const CRow& row : r->rows()) out.AddRow(row.tuple, row.local());
+      // Union carries rows through unchanged — cache-preserving copies.
+      for (const CRow& row : l->rows()) out.AddRow(row);
+      for (const CRow& row : r->rows()) out.AddRow(row);
       return out;
     }
     case RaOp::kDiff:
@@ -207,16 +570,34 @@ std::optional<CTable> EvalPlain(const RaExpr& expr,
   return std::nullopt;
 }
 
+void Accumulate(CTableEvalStats* sink, const CTableEvalStats& s) {
+  if (sink == nullptr) return;
+  sink->hash_joins += s.hash_joins;
+  sink->nested_loop_products += s.nested_loop_products;
+  sink->index_builds += s.index_builds;
+  sink->index_probes += s.index_probes;
+  sink->index_hits += s.index_hits;
+  sink->join_pairs += s.join_pairs;
+  sink->scan_pairs += s.scan_pairs;
+  sink->pushdown_dropped_rows += s.pushdown_dropped_rows;
+}
+
 }  // namespace
 
 std::optional<CTable> EvalOnCTables(const RaExpr& expr,
                                     const CDatabase& database,
                                     const CTableEvalOptions& options) {
-  if (!options.use_interner) return EvalPlain(expr, database);
+  CTableEvalStats stats;
+  if (!options.use_interner) {
+    auto out = EvalPlain(expr, database, options, stats);
+    Accumulate(options.stats, stats);
+    return out;
+  }
   ConditionInterner& interner = options.interner != nullptr
                                     ? *options.interner
                                     : ConditionInterner::Global();
-  auto interned = EvalInterned(expr, database, interner);
+  auto interned = EvalInterned(expr, database, interner, options, stats);
+  Accumulate(options.stats, stats);
   if (!interned) return std::nullopt;
   CTable out(interned->arity);
   for (InternedRow& row : interned->rows) {
@@ -230,16 +611,29 @@ std::optional<CTable> EvalOnCTables(const RaExpr& expr,
 std::optional<CDatabase> EvalQueryOnCTables(const RaQuery& query,
                                             const CDatabase& database,
                                             const CTableEvalOptions& options) {
+  // The carried global condition keeps the input's materialized form; on the
+  // interned path its id cache is seeded from the members' cached ids.
+  auto set_global = [&](CTable& table) {
+    if (options.use_interner) {
+      ConditionInterner& interner = options.interner != nullptr
+                                        ? *options.interner
+                                        : ConditionInterner::Global();
+      table.SetGlobal(database.CombinedGlobal(),
+                      database.CombinedGlobalId(interner), interner);
+    } else {
+      table.SetGlobal(database.CombinedGlobal());
+    }
+  };
   CDatabase out;
   for (size_t i = 0; i < query.size(); ++i) {
     auto table = EvalOnCTables(query[i], database, options);
     if (!table) return std::nullopt;
-    if (i == 0) table->SetGlobal(database.CombinedGlobal());
+    if (i == 0) set_global(*table);
     out.AddTable(std::move(*table));
   }
   if (query.empty()) {
     CTable sentinel(0);
-    sentinel.SetGlobal(database.CombinedGlobal());
+    set_global(sentinel);
     out.AddTable(std::move(sentinel));
   }
   return out;

@@ -20,6 +20,13 @@
 //
 // (We do not merge duplicate projected rows, so no disjunctions arise; set
 // semantics is recovered at instantiation time.)
+//
+// Equality selections over products — i.e. joins, including RaExpr::Join —
+// are recognized by a small planning pass and executed as hash joins over
+// the shared tuple-index layer (tables/tuple_index.h), with one-sided
+// selection atoms pushed down into the join sides. The fused execution is
+// output-identical to product-then-select on both the interned and the
+// plain path; see CTableEvalOptions::use_hash_join.
 
 #ifndef PW_ILALGEBRA_CTABLE_EVAL_H_
 #define PW_ILALGEBRA_CTABLE_EVAL_H_
@@ -32,6 +39,22 @@
 
 namespace pw {
 
+/// Counters of the join/index machinery of one evaluation. Attach via
+/// CTableEvalOptions::stats; counters are accumulated (+=) so one sink can
+/// span several calls.
+struct CTableEvalStats {
+  size_t hash_joins = 0;        // select-over-products fused into hash joins
+  size_t nested_loop_products = 0;  // products evaluated as nested loops
+  size_t index_builds = 0;      // tuple indexes built or rebuilt (not reused)
+  size_t index_probes = 0;      // keyed probes into a build-side index
+  size_t index_hits = 0;        // candidate rows returned by those probes
+  size_t join_pairs = 0;        // row pairs enumerated through the index
+  size_t scan_pairs = 0;        // row pairs enumerated by scans (nested
+                                // loops and non-ground-key fallbacks)
+  size_t pushdown_dropped_rows = 0;  // side rows dropped by selection
+                                     // pushdown before pairing
+};
+
 /// Evaluation knobs. The default routes every conjoin of local conditions
 /// through the executing thread's global ConditionInterner: combined
 /// conditions are memoized pairwise, canonicalized (sorted, deduplicated,
@@ -43,10 +66,24 @@ struct CTableEvalOptions {
   /// pruning) — chiefly for differential tests and benchmarks.
   bool use_interner = true;
 
+  /// True (the default) fuses an equality selection over a product into a
+  /// hash join on the bound columns, with one-sided selection atoms pushed
+  /// down into the join sides (tables/tuple_index.h; a relation-ref build
+  /// side reuses the CTable's cached index across queries). Applies to both
+  /// the interned and the plain path and is output-identical to the
+  /// nested-loop product + per-row selection it replaces: the index only
+  /// skips pairs the selection would have dropped on a trivially-false
+  /// ground equality. False keeps the seed nested loops — chiefly for
+  /// differential tests and the join benchmarks.
+  bool use_hash_join = true;
+
   /// Optional interner override. Leave null to use the executing thread's
   /// ConditionInterner::Global() (interners are not thread-safe, so the
   /// override must not be shared across threads).
   ConditionInterner* interner = nullptr;
+
+  /// Optional stats sink.
+  CTableEvalStats* stats = nullptr;
 };
 
 /// Evaluates one positive existential expression on a c-database, producing

@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "tables/tuple_index.h"
+
 namespace pw {
 
 namespace {
@@ -23,31 +25,27 @@ struct IRow {
   bool alive = true;
 };
 
-struct TupleHash {
-  size_t operator()(const Tuple& t) const noexcept {
-    uint64_t h = 1469598103934665603ull;  // FNV-1a over term hashes
-    for (const Term& term : t) {
-      h ^= std::hash<Term>()(term);
-      h *= 1099511628211ull;
-    }
-    return static_cast<size_t>(h);
-  }
-};
-
 struct PredState {
   std::vector<IRow> rows;
   // Tuple -> indices into `rows` (live and dead): the duplicate-suppression
-  // and subsumption index.
+  // and subsumption index. (TupleHash comes from tables/tuple_index.h, the
+  // shared indexing layer.)
   std::unordered_map<Tuple, std::vector<size_t>, TupleHash> by_tuple;
   // The previous round's delta is rows[delta_begin, delta_end); rows at and
   // past delta_end were derived in the current round.
   size_t delta_begin = 0;
   size_t delta_end = 0;
+  // Lazily-built hash indexes of the rows' tuples per bound-column subset,
+  // extended across rounds as rows are appended (rows are append-only
+  // during a fixpoint, so the cache stamp never changes). Dead rows stay
+  // indexed and are skipped at match time, like in the scan.
+  TupleIndexCache indexes;
 };
 
 struct EvalState {
   ConditionInterner* interner = nullptr;
   ConjId global_id = ConditionInterner::kTrueConj;
+  bool use_index = true;
   std::vector<PredState> preds;
   ConditionedFixpointStats stats;
 };
@@ -121,15 +119,33 @@ bool MatchArgs(const Tuple& args, const Tuple& row,
   return true;
 }
 
+/// The up-to-date index of `pred`'s rows on `cols`. Rows are append-only
+/// during a fixpoint, so the cache only ever extends (the stamp is
+/// constant); builds are counted into the stats.
+const TupleIndex& IndexFor(EvalState& state, int pred,
+                           const std::vector<int>& cols) {
+  PredState& ps = state.preds[pred];
+  size_t builds_before = ps.indexes.stats().builds;
+  const TupleIndex& index = ps.indexes.Get(
+      cols, ps.rows.size(), /*stamp=*/1,
+      [&ps](size_t i) -> const Tuple& { return *ps.rows[i].tuple; });
+  state.stats.index_builds += ps.indexes.stats().builds - builds_before;
+  return index;
+}
+
 /// Fires one rule, inserting head derivations. With `delta_pos < 0` (naive)
 /// every body position ranges over the full row list as of loop entry. With
 /// `delta_pos >= 0` (semi-naive) position delta_pos ranges over its
 /// predicate's delta, earlier positions over pre-delta rows only and later
 /// ones over everything up to the delta end — so each combination with at
-/// least one delta row is enumerated exactly once per round. The local
-/// condition travels as an interned id: conjunction is the memoized And and
-/// a branch whose partial condition cannot hold (on its own or with the
-/// global condition) is cut immediately. Returns true if anything was added.
+/// least one delta row is enumerated exactly once per round. A body atom
+/// with bound, constant-valued positions enumerates its range through the
+/// predicate's hash index on those positions instead of scanning it (same
+/// rows, same order; positions bound to a null fall back to the scan since
+/// a null matches any row under a condition). The local condition travels
+/// as an interned id: conjunction is the memoized And and a branch whose
+/// partial condition cannot hold (on its own or with the global condition)
+/// is cut immediately. Returns true if anything was added.
 bool FireRule(EvalState& state, const DatalogRule& rule, int delta_pos) {
   ConditionInterner& interner = *state.interner;
   bool added = false;
@@ -159,8 +175,39 @@ bool FireRule(EvalState& state, const DatalogRule& rule, int delta_pos) {
     } else {
       hi = ps.delta_end;
     }
+    // Bound positions of this atom under the current binding: constant
+    // arguments, and variables already bound to a constant. A variable
+    // bound to a null is treated as unbound for keying (its row match adds
+    // an equality condition instead of filtering).
+    std::vector<size_t> candidates;
+    bool keyed = false;
+    if (state.use_index && lo < hi) {
+      std::vector<int> cols;
+      Tuple key;
+      for (size_t i = 0; i < atom.args.size(); ++i) {
+        Term need = atom.args[i];
+        if (need.is_variable()) {
+          auto it = binding.find(need.variable());
+          if (it == binding.end() || !it->second.is_constant()) continue;
+          need = it->second;
+        }
+        cols.push_back(static_cast<int>(i));
+        key.push_back(need);
+      }
+      if (!cols.empty()) {
+        // Snapshot the candidate ids: a Insert deeper in the recursion may
+        // extend this very index (and any row vector) mid-iteration.
+        candidates = IndexFor(state, atom.predicate, cols)
+                         .Candidates(key, lo, hi);
+        ++state.stats.index_probes;
+        state.stats.index_hits += candidates.size();
+        keyed = true;
+      }
+    }
     // Index-based: Insert may append to (and reallocate) any row vector.
-    for (size_t idx = lo; idx < hi; ++idx) {
+    size_t count = keyed ? candidates.size() : hi - lo;
+    for (size_t k = 0; k < count; ++k) {
+      size_t idx = keyed ? candidates[k] : lo + k;
       if (!ps.rows[idx].alive) continue;
       ConjId row_cond = ps.rows[idx].cond;
       auto saved_binding = binding;
@@ -204,6 +251,7 @@ CDatabase DatalogOnCTables(const DatalogProgram& program,
   EvalState state;
   state.interner = &interner;
   state.global_id = database.CombinedGlobalId(interner);
+  state.use_index = options.use_index;
   state.preds.resize(program.num_predicates());
   size_t interner_size_before = interner.num_conjunctions();
 
@@ -255,7 +303,11 @@ CDatabase DatalogOnCTables(const DatalogProgram& program,
       // cache, so downstream consumers start from the id.
       if (row.alive) t.AddRow(*row.tuple, row.cond, interner);
     }
-    if (p == 0) t.SetGlobal(database.CombinedGlobal());
+    // The carried global keeps the input's materialized form; its id cache
+    // is seeded from the already-interned combined id.
+    if (p == 0) {
+      t.SetGlobal(database.CombinedGlobal(), state.global_id, interner);
+    }
     out.AddTable(std::move(t));
   }
   if (stats != nullptr) {

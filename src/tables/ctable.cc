@@ -26,6 +26,26 @@ std::string ToString(TableKind kind) {
   return "?";
 }
 
+CTable::CTable(const CTable& other)
+    : arity_(other.arity_),
+      rows_(other.rows_),
+      global_(other.global_),
+      global_id_(other.global_id_),
+      global_stamp_(other.global_stamp_),
+      rows_stamp_(other.rows_stamp_) {}
+
+CTable& CTable::operator=(const CTable& other) {
+  if (this == &other) return *this;
+  arity_ = other.arity_;
+  rows_ = other.rows_;
+  global_ = other.global_;
+  global_id_ = other.global_id_;
+  global_stamp_ = other.global_stamp_;
+  rows_stamp_ = other.rows_stamp_;
+  indexes_.reset();  // rebuilt lazily against the new rows
+  return *this;
+}
+
 void CTable::AddRow(Tuple tuple) {
   assert(static_cast<int>(tuple.size()) == arity_);
   rows_.push_back(CRow(std::move(tuple)));
@@ -39,6 +59,22 @@ void CTable::AddRow(Tuple tuple, Conjunction local) {
 void CTable::AddRow(Tuple tuple, ConjId local, ConditionInterner& interner) {
   assert(static_cast<int>(tuple.size()) == arity_);
   rows_.push_back(CRow(std::move(tuple), local, interner));
+}
+
+void CTable::AddRow(CRow row) {
+  assert(static_cast<int>(row.tuple.size()) == arity_);
+  rows_.push_back(std::move(row));
+}
+
+const TupleIndex& CTable::Index(const std::vector<int>& columns,
+                                bool* built) const {
+  if (indexes_ == nullptr) indexes_ = std::make_unique<TupleIndexCache>();
+  size_t builds_before = indexes_->stats().builds;
+  const TupleIndex& index = indexes_->Get(
+      columns, rows_.size(), rows_stamp_,
+      [this](size_t i) -> const Tuple& { return rows_[i].tuple; });
+  if (built != nullptr) *built = indexes_->stats().builds != builds_before;
+  return index;
 }
 
 CTable CTable::FromRelation(const Relation& relation) {
@@ -148,6 +184,7 @@ CTable CTable::Normalized() const {
     rows.push_back(CRow(std::move(row.tuple), row.local().Simplified()));
   }
   out.rows_ = std::move(rows);
+  ++out.rows_stamp_;  // wholesale replacement: any index must rebuild
   return out;
 }
 

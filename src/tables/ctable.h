@@ -17,6 +17,7 @@
 #ifndef PW_TABLES_CTABLE_H_
 #define PW_TABLES_CTABLE_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -25,6 +26,7 @@
 #include "condition/interner.h"
 #include "core/relation.h"
 #include "core/tuple.h"
+#include "tables/tuple_index.h"
 
 namespace pw {
 
@@ -93,6 +95,15 @@ class CRow {
     return local_id_;
   }
 
+  /// A row with a different tuple but the same condition — including the
+  /// memoized id cache, so tuple rewrites (projection) don't force downstream
+  /// consumers to re-canonicalize the condition.
+  CRow WithTuple(Tuple new_tuple) const {
+    CRow out = *this;
+    out.tuple = std::move(new_tuple);
+    return out;
+  }
+
   Tuple tuple;
 
   friend bool operator==(const CRow& a, const CRow& b) {
@@ -109,6 +120,13 @@ class CRow {
 class CTable {
  public:
   explicit CTable(int arity = 0) : arity_(arity) {}
+
+  // Copies carry the logical state and the stamped id caches but not the
+  // lazily-built tuple indexes (the copy rebuilds its own on first use).
+  CTable(const CTable& other);
+  CTable& operator=(const CTable& other);
+  CTable(CTable&&) = default;
+  CTable& operator=(CTable&&) = default;
 
   int arity() const { return arity_; }
   size_t num_rows() const { return rows_.size(); }
@@ -127,10 +145,24 @@ class CTable {
   /// it.
   void AddRow(Tuple tuple, ConjId local, ConditionInterner& interner);
 
+  /// Appends a copy of an existing row as-is, preserving its memoized
+  /// condition-id cache — the cache-keeping path for operators that carry
+  /// rows between tables unchanged (union, relation refs).
+  void AddRow(CRow row);
+
   /// Replaces the global condition.
   void SetGlobal(Conjunction global) {
     global_ = std::move(global);
     global_stamp_ = 0;
+  }
+
+  /// Replaces the global condition when its interned id is already known
+  /// (`id` must be the id `global` interns to in `interner`); the table's
+  /// global-id cache starts hot.
+  void SetGlobal(Conjunction global, ConjId id, ConditionInterner& interner) {
+    global_ = std::move(global);
+    global_id_ = id;
+    global_stamp_ = interner.stamp();
   }
 
   /// Conjoins `atom` onto the global condition.
@@ -148,6 +180,16 @@ class CTable {
     }
     return global_id_;
   }
+
+  /// The lazily-built hash index of the rows' tuples on `columns` (the
+  /// shared join-acceleration layer, tables/tuple_index.h): built on first
+  /// use, extended incrementally as rows are appended, and reused across
+  /// queries. `built` (optional) reports whether this call built or rebuilt
+  /// the index rather than reusing it. The reference is owned by the table;
+  /// later mutations extend or rebuild it in place, so snapshot candidate
+  /// lists before mutating. Like the stamped id caches, not thread-safe.
+  const TupleIndex& Index(const std::vector<int>& columns,
+                          bool* built = nullptr) const;
 
   /// Builds a table whose rows are the facts of `relation` (a complete
   /// relation is the degenerate c-table with no variables).
@@ -199,6 +241,11 @@ class CTable {
   Conjunction global_;
   mutable ConjId global_id_ = 0;
   mutable uint64_t global_stamp_ = 0;  // 0: no id cached
+  // Stamp of the row storage for the index cache: appends keep it (indexes
+  // catch up incrementally), wholesale row replacement bumps it (indexes
+  // rebuild on next use).
+  uint64_t rows_stamp_ = 1;
+  mutable std::unique_ptr<TupleIndexCache> indexes_;
 };
 
 /// An n-vector of c-tables (Definition 2.2 generalization). The paper takes

@@ -1,0 +1,73 @@
+#include "tables/tuple_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pw {
+
+namespace {
+const std::vector<size_t> kEmptyBucket;
+}  // namespace
+
+void TupleIndex::Add(const Tuple& tuple, size_t row_id) {
+  assert(row_id == num_rows_);
+  ++num_rows_;
+  scratch_key_.clear();
+  for (int c : columns_) {
+    const Term& t = tuple[c];
+    if (t.is_variable()) {
+      wildcard_.push_back(row_id);
+      return;
+    }
+    scratch_key_.push_back(t);
+  }
+  buckets_[scratch_key_].push_back(row_id);
+}
+
+bool TupleIndex::IsGroundKey(const Tuple& key) { return IsGround(key); }
+
+const std::vector<size_t>& TupleIndex::Probe(const Tuple& key) const {
+  assert(key.size() == columns_.size() && IsGroundKey(key));
+  auto it = buckets_.find(key);
+  return it == buckets_.end() ? kEmptyBucket : it->second;
+}
+
+std::vector<size_t> TupleIndex::Candidates(const Tuple& key, size_t lo,
+                                           size_t hi) const {
+  const std::vector<size_t>& bucket = Probe(key);
+  auto clip = [lo, hi](const std::vector<size_t>& ids) {
+    return std::pair(std::lower_bound(ids.begin(), ids.end(), lo),
+                     std::lower_bound(ids.begin(), ids.end(), hi));
+  };
+  auto [b_lo, b_hi] = clip(bucket);
+  auto [w_lo, w_hi] = clip(wildcard_);
+  std::vector<size_t> out;
+  out.reserve((b_hi - b_lo) + (w_hi - w_lo));
+  std::merge(b_lo, b_hi, w_lo, w_hi, std::back_inserter(out));
+  return out;
+}
+
+const TupleIndex& TupleIndexCache::Get(const std::vector<int>& columns,
+                                       size_t num_rows, uint64_t stamp,
+                                       const TupleFn& tuple_of) {
+  auto it = entries_.find(columns);  // hit path: no Entry materialized
+  bool built = it == entries_.end();
+  if (built) {
+    it = entries_.emplace(columns, Entry{TupleIndex(columns), stamp}).first;
+  }
+  Entry& entry = it->second;
+  if (!built && entry.stamp != stamp) {
+    // The owner replaced its rows wholesale: rebuild from scratch.
+    entry = Entry{TupleIndex(columns), stamp};
+    built = true;
+  }
+  if (built) ++stats_.builds;
+  // Catch up on appended rows (all of them, on a fresh build).
+  for (size_t id = entry.index.num_rows_indexed(); id < num_rows; ++id) {
+    entry.index.Add(tuple_of(id), id);
+    ++stats_.rows_indexed;
+  }
+  return entry.index;
+}
+
+}  // namespace pw

@@ -138,6 +138,84 @@ TEST(DatalogCTableTest, SemiNaiveSkipsRederivations) {
   EXPECT_GT(semi.interner_conjunctions, 0u);
 }
 
+TEST(DatalogCTableTest, InsertReallocationMidFireRuleIsSafe) {
+  // Regression for the iterator-invalidation hazard in FireRule: with the
+  // head predicate also in the body (q(x,z) :- q(x,y), q(y,z)), Insert
+  // appends to — and repeatedly reallocates — the very row vector the join
+  // loop is ranging over, and (on the indexed path) extends the very index
+  // whose candidates are being consumed. A 48-edge chain pushes ~1.2k rows
+  // through many vector growths; the loop must address rows by id and
+  // snapshot candidate lists, never hold references across Insert. Verified
+  // against the ordinary ground fixpoint, with the index on and off.
+  DatalogProgram p({2, 2}, /*num_edb=*/1);
+  DatalogRule base;
+  base.head = {1, Tuple{V(100), V(101)}};
+  base.body = {{0, Tuple{V(100), V(101)}}};
+  p.AddRule(base);
+  DatalogRule square;
+  square.head = {1, Tuple{V(100), V(102)}};
+  square.body = {{1, Tuple{V(100), V(101)}}, {1, Tuple{V(101), V(102)}}};
+  p.AddRule(square);
+
+  Relation edges(2);
+  for (int i = 0; i < 48; ++i) edges.Insert({i, i + 1});
+  Instance expected = SemiNaiveEval(p, Instance({edges}));
+  CDatabase db(CTable::FromRelation(edges));
+
+  for (bool use_index : {true, false}) {
+    DatalogCTableOptions options;
+    options.use_index = use_index;
+    ConditionedFixpointStats stats;
+    CDatabase out = DatalogOnCTables(p, db, &stats, options);
+    Relation result(2);
+    for (const CRow& row : out.table(1).rows()) {
+      EXPECT_TRUE(row.local().IsTautology());
+      result.Insert(ToFact(row.tuple));
+    }
+    EXPECT_EQ(result, expected.relation(1)) << "use_index=" << use_index;
+    EXPECT_EQ(stats.index_probes > 0, use_index);
+  }
+}
+
+TEST(DatalogCTableTest, IndexedMatchingIsIdenticalToScan) {
+  // Indexed body-atom matching enumerates exactly the rows the scan visits,
+  // in the same order, so the result tables must be identical — on input
+  // with nulls at join positions (wildcard rows) and local conditions.
+  CTable t(2);
+  for (int i = 0; i < 10; ++i) t.AddRow(Tuple{C(i), C(i + 1)});
+  t.AddRow(Tuple{C(10), V(0)});
+  t.AddRow(Tuple{V(0), C(11)}, Conjunction{Neq(V(0), C(3))});
+  CDatabase db{t};
+
+  DatalogCTableOptions indexed;
+  DatalogCTableOptions scan;
+  scan.use_index = false;
+  ConditionedFixpointStats indexed_stats;
+  ConditionedFixpointStats scan_stats;
+  CDatabase fast = DatalogOnCTables(TransitiveClosure(), db, &indexed_stats,
+                                    indexed);
+  CDatabase seed = DatalogOnCTables(TransitiveClosure(), db, &scan_stats,
+                                    scan);
+  ASSERT_EQ(fast.num_tables(), seed.num_tables());
+  for (size_t p = 0; p < fast.num_tables(); ++p) {
+    EXPECT_EQ(fast.table(p), seed.table(p));
+  }
+  // Identical derivations, drops, and rounds — the index changes only how
+  // candidates are found.
+  EXPECT_EQ(indexed_stats.derived_rows, scan_stats.derived_rows);
+  EXPECT_EQ(indexed_stats.subsumed_rows, scan_stats.subsumed_rows);
+  EXPECT_EQ(indexed_stats.duplicate_rows, scan_stats.duplicate_rows);
+  EXPECT_EQ(indexed_stats.rounds, scan_stats.rounds);
+  // One index per (predicate, bound-column subset), built once and extended
+  // across rounds — not rebuilt per round.
+  EXPECT_GT(indexed_stats.index_probes, 0u);
+  EXPECT_GT(indexed_stats.index_hits, 0u);
+  EXPECT_LE(indexed_stats.index_builds, 4u);
+  EXPECT_GT(indexed_stats.rounds, 3u);
+  EXPECT_EQ(scan_stats.index_probes, 0u);
+  EXPECT_EQ(scan_stats.index_builds, 0u);
+}
+
 TEST(DatalogCTableTest, EmptyBodyRuleFiresOnce) {
   // A ground-fact rule has no body atom to carry a delta; it must still
   // appear in the fixpoint under both strategies.

@@ -11,12 +11,19 @@
 //     worlds compared canonically up to renaming of fresh constants over a
 //     shared constant context. Queries are drawn from a generator covering
 //     every operator of the fragment (select with = and !=, generalized
-//     project with constants, product, union) at random shapes.
+//     project with constants, product, equi-join shapes that fuse into hash
+//     joins, union) at random shapes; each query runs with the hash-join
+//     fusion on AND off, which must produce *identical* tables, and the
+//     result is additionally piped through Minimized(), which must preserve
+//     the represented worlds. Single-table and multi-table (c-database)
+//     inputs are both covered.
 //
 //  2. Conditioned DATALOG views — the semi-naive interned fixpoint must
-//     produce c-tables identical (up to row order) to the naive strategy,
-//     and both must represent exactly the pointwise DATALOG fixpoint of the
-//     input's worlds, on randomized programs over randomized c-tables.
+//     produce c-tables identical (up to row order) to the naive strategy
+//     and identical (up to nothing — exactly) to the scan-based join loop,
+//     and all must represent exactly the pointwise DATALOG fixpoint of the
+//     input's worlds, on randomized programs (one or two extensional
+//     predicates) over randomized c-tables.
 //
 //  3. Updates — randomized Insert/Delete/InsertFactIf sequences must act
 //     pointwise on the represented worlds, including when a DATALOG view is
@@ -40,17 +47,20 @@
 namespace pw {
 namespace {
 
-/// A random positive existential expression over one binary relation.
-/// Depth-bounded; every operator of the fragment can appear.
-RaExpr RandomPosExistential(std::mt19937& rng, int depth) {
-  std::uniform_int_distribution<int> pick(0, depth <= 0 ? 0 : 4);
+/// A random positive existential expression over `num_rels` binary
+/// relations. Depth-bounded; every operator of the fragment can appear,
+/// including equi-join shapes (selection directly over a product) that the
+/// evaluator fuses into hash joins.
+RaExpr RandomPosExistential(std::mt19937& rng, int depth, int num_rels = 1) {
+  std::uniform_int_distribution<int> pick(0, depth <= 0 ? 0 : 5);
   std::uniform_int_distribution<int> coin(0, 1);
   std::uniform_int_distribution<int> small_const(0, 3);
+  std::uniform_int_distribution<int> rel(0, num_rels - 1);
   switch (pick(rng)) {
     case 0:
-      return RaExpr::Rel(0, 2);
+      return RaExpr::Rel(rel(rng), 2);
     case 1: {  // select: one or two random atoms over the two columns
-      RaExpr in = RandomPosExistential(rng, depth - 1);
+      RaExpr in = RandomPosExistential(rng, depth - 1, num_rels);
       std::uniform_int_distribution<int> col(0, in.arity() - 1);
       std::vector<SelectAtom> atoms;
       int n = 1 + coin(rng);
@@ -64,7 +74,7 @@ RaExpr RandomPosExistential(std::mt19937& rng, int depth) {
       return RaExpr::Select(in, std::move(atoms));
     }
     case 2: {  // generalized project to arity 2 (may duplicate / emit consts)
-      RaExpr in = RandomPosExistential(rng, depth - 1);
+      RaExpr in = RandomPosExistential(rng, depth - 1, num_rels);
       std::uniform_int_distribution<int> col(0, in.arity() - 1);
       std::vector<ColOrConst> outputs;
       for (int i = 0; i < 2; ++i) {
@@ -75,15 +85,37 @@ RaExpr RandomPosExistential(std::mt19937& rng, int depth) {
       return RaExpr::Project(in, std::move(outputs));
     }
     case 3: {  // product of two shallow subexpressions, projected back to 2
-      RaExpr l = RandomPosExistential(rng, 0);
-      RaExpr r = RandomPosExistential(rng, 0);
+      RaExpr l = RandomPosExistential(rng, 0, num_rels);
+      RaExpr r = RandomPosExistential(rng, 0, num_rels);
       RaExpr prod = RaExpr::Product(l, r);
       std::uniform_int_distribution<int> col(0, prod.arity() - 1);
       return RaExpr::ProjectCols(prod, {col(rng), col(rng)});
     }
+    case 4: {  // equi-join: selection directly over a product (fuses into a
+               // hash join), an optional extra atom of any shape, projected
+               // back to 2
+      RaExpr l = RandomPosExistential(rng, 0, num_rels);
+      RaExpr r = RandomPosExistential(rng, 0, num_rels);
+      RaExpr prod = RaExpr::Product(l, r);
+      std::uniform_int_distribution<int> lcol(0, l.arity() - 1);
+      std::uniform_int_distribution<int> rcol(l.arity(), prod.arity() - 1);
+      std::uniform_int_distribution<int> col(0, prod.arity() - 1);
+      std::vector<SelectAtom> atoms;
+      atoms.push_back(SelectAtom::Eq(ColOrConst::Col(lcol(rng)),
+                                     ColOrConst::Col(rcol(rng))));
+      if (coin(rng)) {  // side filter, cross inequality, or constant test
+        ColOrConst lhs = ColOrConst::Col(col(rng));
+        ColOrConst rhs = coin(rng) ? ColOrConst::Col(col(rng))
+                                   : ColOrConst::Const(small_const(rng));
+        atoms.push_back(coin(rng) ? SelectAtom::Eq(lhs, rhs)
+                                  : SelectAtom::Neq(lhs, rhs));
+      }
+      RaExpr sel = RaExpr::Select(prod, std::move(atoms));
+      return RaExpr::ProjectCols(sel, {col(rng), col(rng)});
+    }
     default: {  // union of two same-arity subexpressions
-      RaExpr l = RandomPosExistential(rng, depth - 1);
-      RaExpr r = RandomPosExistential(rng, depth - 1);
+      RaExpr l = RandomPosExistential(rng, depth - 1, num_rels);
+      RaExpr r = RandomPosExistential(rng, depth - 1, num_rels);
       if (l.arity() != r.arity()) return l;
       return RaExpr::Union(l, r);
     }
@@ -113,14 +145,32 @@ TEST_P(DifferentialTest, CTableEvalAgreesWithPerWorldEval) {
     CDatabase db{t};
     RaExpr q = RandomPosExistential(rng, 2);
 
-    CTableEvalOptions interned;  // default: global interner
+    CTableEvalOptions interned;  // default: global interner, hash joins
     CTableEvalOptions plain;
     plain.use_interner = false;  // seed path
+    CTableEvalOptions interned_nl = interned;  // nested-loop joins
+    interned_nl.use_hash_join = false;
+    CTableEvalOptions plain_nl = plain;
+    plain_nl.use_hash_join = false;
 
     auto fast = EvalQueryOnCTables({q}, db, interned);
     auto seed = EvalQueryOnCTables({q}, db, plain);
+    auto fast_nl = EvalQueryOnCTables({q}, db, interned_nl);
+    auto seed_nl = EvalQueryOnCTables({q}, db, plain_nl);
     ASSERT_TRUE(fast.has_value());
     ASSERT_TRUE(seed.has_value());
+    ASSERT_TRUE(fast_nl.has_value() && seed_nl.has_value());
+
+    // The hash-join fusion must be output-*identical* to the nested loop it
+    // replaces, on both paths — not merely equivalent up to rep().
+    EXPECT_EQ(fast->table(0), fast_nl->table(0))
+        << "hash join diverged from nested loop (interned) on "
+        << q.ToString() << "\n"
+        << t.ToString();
+    EXPECT_EQ(seed->table(0), seed_nl->table(0))
+        << "hash join diverged from nested loop (plain) on " << q.ToString()
+        << "\n"
+        << t.ToString();
 
     std::vector<ConstId> extra = SharedContext(db, fast->table(0));
     for (ConstId c : seed->table(0).Constants()) extra.push_back(c);
@@ -133,10 +183,70 @@ TEST_P(DifferentialTest, CTableEvalAgreesWithPerWorldEval) {
     EXPECT_EQ(testutil::CanonicalWorlds(*seed, extra), oracle)
         << "seed path diverged on " << q.ToString() << "\n"
         << t.ToString();
+
+    // Minimized()-after-eval: minimization must preserve the represented
+    // image worlds (it runs on the indexed-join output, global attached).
+    CDatabase minimized{fast->table(0).Minimized()};
+    EXPECT_EQ(testutil::CanonicalWorlds(minimized, extra), oracle)
+        << "Minimized() after eval diverged on " << q.ToString() << "\n"
+        << t.ToString();
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest, ::testing::Range(0, 25));
+
+// Multi-table inputs: queries draw from (and join across) two member
+// c-tables whose shared variables link the tables like equality conditions;
+// the combined global condition spans both members.
+class MultiTableDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiTableDifferentialTest, CTableEvalAgreesWithPerWorldEval) {
+  std::mt19937 rng(2000 + GetParam());
+  for (int round = 0; round < 3; ++round) {
+    RandomCTableOptions options = testutil::SmallCTableOptions(
+        /*arity=*/2, /*num_rows=*/2, /*num_constants=*/2, /*num_variables=*/2,
+        /*num_local_atoms=*/GetParam() % 2,
+        /*num_global_atoms=*/GetParam() % 2);
+    CTable t0 = RandomCTable(options, rng);
+    CTable t1 = RandomCTable(options, rng);
+    CDatabase db(std::vector<CTable>{t0, t1});
+    RaExpr q = RandomPosExistential(rng, 2, /*num_rels=*/2);
+
+    CTableEvalOptions interned;
+    CTableEvalOptions plain;
+    plain.use_interner = false;
+    CTableEvalOptions interned_nl = interned;
+    interned_nl.use_hash_join = false;
+
+    auto fast = EvalQueryOnCTables({q}, db, interned);
+    auto seed = EvalQueryOnCTables({q}, db, plain);
+    auto fast_nl = EvalQueryOnCTables({q}, db, interned_nl);
+    ASSERT_TRUE(fast.has_value() && seed.has_value() && fast_nl.has_value());
+    EXPECT_EQ(fast->table(0), fast_nl->table(0))
+        << "hash join diverged from nested loop on " << q.ToString() << "\n"
+        << db.ToString();
+
+    std::vector<ConstId> extra = SharedContext(db, fast->table(0));
+    for (ConstId c : seed->table(0).Constants()) extra.push_back(c);
+
+    std::vector<std::string> oracle =
+        testutil::CanonicalImageWorlds({q}, db, extra);
+    EXPECT_EQ(testutil::CanonicalWorlds(*fast, extra), oracle)
+        << "interned path diverged on " << q.ToString() << "\n"
+        << db.ToString();
+    EXPECT_EQ(testutil::CanonicalWorlds(*seed, extra), oracle)
+        << "seed path diverged on " << q.ToString() << "\n"
+        << db.ToString();
+
+    CDatabase minimized{fast->table(0).Minimized()};
+    EXPECT_EQ(testutil::CanonicalWorlds(minimized, extra), oracle)
+        << "Minimized() after eval diverged on " << q.ToString() << "\n"
+        << db.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiTableDifferentialTest,
+                         ::testing::Range(0, 15));
 
 TEST(DifferentialEdgeTest, UnsatisfiableGlobalYieldsNoWorlds) {
   CTable t = testutil::MakeTable(2, std::vector<Tuple>{{C(1), V(0)}});
@@ -151,15 +261,15 @@ TEST(DifferentialEdgeTest, UnsatisfiableGlobalYieldsNoWorlds) {
 
 // --- Conditioned DATALOG views ----------------------------------------------
 
-/// A random range-restricted pure DATALOG program: one binary extensional
-/// predicate, two binary intensional ones, 2-4 rules with 1-2 body atoms
-/// over rule variables and small constants.
-DatalogProgram RandomDatalogProgram(std::mt19937& rng) {
-  DatalogProgram p({2, 2, 2}, /*num_edb=*/1);
+/// A random range-restricted pure DATALOG program: `num_edb` binary
+/// extensional predicates, two binary intensional ones, 2-4 rules with 1-2
+/// body atoms over rule variables and small constants.
+DatalogProgram RandomDatalogProgram(std::mt19937& rng, int num_edb = 1) {
+  DatalogProgram p(std::vector<int>(num_edb + 2, 2), num_edb);
   std::uniform_int_distribution<int> num_rules(2, 4);
   std::uniform_int_distribution<int> body_len(1, 2);
-  std::uniform_int_distribution<int> any_pred(0, 2);
-  std::uniform_int_distribution<int> idb_pred(1, 2);
+  std::uniform_int_distribution<int> any_pred(0, num_edb + 1);
+  std::uniform_int_distribution<int> idb_pred(num_edb, num_edb + 1);
   std::uniform_int_distribution<VarId> var(100, 102);
   std::uniform_int_distribution<int> small_const(0, 2);
   std::uniform_int_distribution<int> d10(0, 9);
@@ -249,20 +359,36 @@ TEST_P(DatalogDifferentialTest, SemiNaiveAgreesWithNaiveAndPerWorld) {
     DatalogCTableOptions semi;
     DatalogCTableOptions naive;
     naive.semi_naive = false;
+    DatalogCTableOptions scan = semi;  // semi-naive, no body-atom indexes
+    scan.use_index = false;
     ConditionedFixpointStats semi_stats;
     ConditionedFixpointStats naive_stats;
+    ConditionedFixpointStats scan_stats;
     CDatabase fast = DatalogOnCTables(program, db, &semi_stats, semi);
     CDatabase seed = DatalogOnCTables(program, db, &naive_stats, naive);
+    CDatabase scanned = DatalogOnCTables(program, db, &scan_stats, scan);
 
     ASSERT_EQ(fast.num_tables(), seed.num_tables());
     for (size_t p = 0; p < fast.num_tables(); ++p) {
       EXPECT_EQ(CanonicalRowSet(fast.table(p)), CanonicalRowSet(seed.table(p)))
           << "strategies diverged on predicate " << p << "\n"
           << program.ToString() << t.ToString();
+      // Indexed body-atom matching enumerates exactly the scan's matches in
+      // the scan's order, so the tables must be *identical*, not merely
+      // equal up to row order.
+      EXPECT_EQ(fast.table(p), scanned.table(p))
+          << "indexed join diverged from scan on predicate " << p << "\n"
+          << program.ToString() << t.ToString();
     }
     // Semi-naive re-fires strictly fewer combinations; its duplicate count
     // must never exceed the naive one.
     EXPECT_LE(semi_stats.duplicate_rows, naive_stats.duplicate_rows);
+    // The index only skips rows a scan would have rejected on a ground
+    // mismatch, so every derivation-side counter agrees with the scan run.
+    EXPECT_EQ(semi_stats.derived_rows, scan_stats.derived_rows);
+    EXPECT_EQ(semi_stats.duplicate_rows, scan_stats.duplicate_rows);
+    EXPECT_EQ(semi_stats.subsumed_rows, scan_stats.subsumed_rows);
+    EXPECT_EQ(scan_stats.index_probes, 0u);
 
     ExpectRepresentsFixpointOfEveryWorld(program, db, fast);
   }
@@ -270,6 +396,48 @@ TEST_P(DatalogDifferentialTest, SemiNaiveAgreesWithNaiveAndPerWorld) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DatalogDifferentialTest,
                          ::testing::Range(0, 25));
+
+// Multi-table c-database inputs: two extensional predicates seeded from two
+// member c-tables (shared variables link them), random rules joining across
+// both — the indexed body-atom matching vs the scan vs per-world evaluation.
+class DatalogMultiTableDifferentialTest
+    : public ::testing::TestWithParam<int> {};
+
+TEST_P(DatalogMultiTableDifferentialTest, AgreesAcrossStrategiesAndWorlds) {
+  std::mt19937 rng(5000 + GetParam());
+  for (int round = 0; round < 3; ++round) {
+    DatalogProgram program = RandomDatalogProgram(rng, /*num_edb=*/2);
+    RandomCTableOptions options = testutil::SmallCTableOptions(
+        /*arity=*/2, /*num_rows=*/2, /*num_constants=*/3, /*num_variables=*/2,
+        /*num_local_atoms=*/GetParam() % 2,
+        /*num_global_atoms=*/GetParam() % 2);
+    CTable t0 = RandomCTable(options, rng);
+    CTable t1 = RandomCTable(options, rng);
+    CDatabase db(std::vector<CTable>{t0, t1});
+
+    DatalogCTableOptions naive;
+    naive.semi_naive = false;
+    DatalogCTableOptions scan;
+    scan.use_index = false;
+    CDatabase fast = DatalogOnCTables(program, db);
+    CDatabase seed = DatalogOnCTables(program, db, nullptr, naive);
+    CDatabase scanned = DatalogOnCTables(program, db, nullptr, scan);
+
+    ASSERT_EQ(fast.num_tables(), seed.num_tables());
+    for (size_t p = 0; p < fast.num_tables(); ++p) {
+      EXPECT_EQ(CanonicalRowSet(fast.table(p)), CanonicalRowSet(seed.table(p)))
+          << "strategies diverged on predicate " << p << "\n"
+          << program.ToString() << db.ToString();
+      EXPECT_EQ(fast.table(p), scanned.table(p))
+          << "indexed join diverged from scan on predicate " << p << "\n"
+          << program.ToString() << db.ToString();
+    }
+    ExpectRepresentsFixpointOfEveryWorld(program, db, fast);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DatalogMultiTableDifferentialTest,
+                         ::testing::Range(0, 15));
 
 // --- Updates ----------------------------------------------------------------
 

@@ -74,6 +74,146 @@ TEST(IlAlgebraTest, DiffIsRejected) {
                    .has_value());
 }
 
+// --- Hash-join fusion -----------------------------------------------------
+
+/// Two joinable conditioned tables: edges with a null endpoint and a local
+/// condition in the mix, so ground buckets, the wildcard list, and condition
+/// accumulation are all exercised.
+CDatabase JoinableTables() {
+  CTable l(2);
+  l.AddRow(Tuple{C(1), C(2)});
+  l.AddRow(Tuple{C(2), C(3)});
+  l.AddRow(Tuple{C(3), V(0)}, Conjunction{Neq(V(0), C(1))});
+  CTable r(2);
+  r.AddRow(Tuple{C(2), C(5)});
+  r.AddRow(Tuple{V(1), C(6)});
+  r.AddRow(Tuple{C(9), C(7)}, Conjunction{Eq(V(1), C(9))});
+  return CDatabase(std::vector<CTable>{l, r});
+}
+
+TEST(IlAlgebraTest, HashJoinIsOutputIdenticalToNestedLoop) {
+  CDatabase db = JoinableTables();
+  RaExpr q = RaExpr::Join(RaExpr::Rel(0, 2), RaExpr::Rel(1, 2), {{1, 0}});
+  for (bool use_interner : {true, false}) {
+    CTableEvalOptions fused;
+    fused.use_interner = use_interner;
+    CTableEvalOptions nested = fused;
+    nested.use_hash_join = false;
+    auto a = EvalOnCTables(q, db, fused);
+    auto b = EvalOnCTables(q, db, nested);
+    ASSERT_TRUE(a.has_value() && b.has_value());
+    EXPECT_EQ(*a, *b) << (use_interner ? "interned" : "plain");
+    EXPECT_GT(a->num_rows(), 0u);
+  }
+}
+
+TEST(IlAlgebraTest, HashJoinProbesIndexAndSkipsMismatches) {
+  CDatabase db = JoinableTables();
+  RaExpr q = RaExpr::Join(RaExpr::Rel(0, 2), RaExpr::Rel(1, 2), {{1, 0}});
+  CTableEvalStats stats;
+  CTableEvalOptions options;
+  options.stats = &stats;
+  ASSERT_TRUE(EvalOnCTables(q, db, options).has_value());
+  EXPECT_EQ(stats.hash_joins, 1u);
+  EXPECT_EQ(stats.nested_loop_products, 0u);
+  EXPECT_EQ(stats.index_builds, 1u);
+  // Left rows (2,·) and (·,3) probe ground keys; (3, x0) has a null key and
+  // falls back to the scan.
+  EXPECT_EQ(stats.index_probes, 2u);
+  EXPECT_EQ(stats.scan_pairs, 3u);
+  // Each ground probe hits the wildcard row (x1, 6) plus at most one ground
+  // bucket row — strictly fewer than the 2x3 = 6 pairs a nested loop walks.
+  EXPECT_LT(stats.index_hits, 4u);
+
+  // The build side was a relation ref: its index lives on the CTable and is
+  // reused by the next query instead of being rebuilt.
+  CTableEvalStats again;
+  options.stats = &again;
+  ASSERT_TRUE(EvalOnCTables(q, db, options).has_value());
+  EXPECT_EQ(again.index_builds, 0u);
+  EXPECT_EQ(again.hash_joins, 1u);
+}
+
+TEST(IlAlgebraTest, HashJoinPushesSelectionsIntoSides) {
+  // sigma_{l.0 = 1 AND l.1 = r.0}(L x R): the left-only atom drops left rows
+  // (2,3) and (3,x0) before any pairing.
+  CDatabase db = JoinableTables();
+  RaExpr q = RaExpr::Select(
+      RaExpr::Product(RaExpr::Rel(0, 2), RaExpr::Rel(1, 2)),
+      {SelectAtom::Eq(ColOrConst::Col(0), ColOrConst::Const(1)),
+       SelectAtom::Eq(ColOrConst::Col(1), ColOrConst::Col(2))});
+  CTableEvalStats stats;
+  CTableEvalOptions options;
+  options.stats = &stats;
+  auto out = EvalOnCTables(q, db, options);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(stats.hash_joins, 1u);
+  EXPECT_GE(stats.pushdown_dropped_rows, 2u);
+
+  CTableEvalOptions nested;
+  nested.use_hash_join = false;
+  auto reference = EvalOnCTables(q, db, nested);
+  ASSERT_TRUE(reference.has_value());
+  EXPECT_EQ(*out, *reference);
+}
+
+// --- Interned-id seeding through the operators ----------------------------
+
+TEST(IlAlgebraTest, InternedEvalSeedsOutputIdCaches) {
+  // After an interned evaluation through union/project/join, every output
+  // row's condition id (and the table's global id) must already be cached:
+  // asking for them again costs zero Intern() calls.
+  ConditionInterner interner;
+  CTable t(2);
+  t.AddRow(Tuple{C(1), V(0)}, Conjunction{Neq(V(0), C(2))});
+  t.AddRow(Tuple{V(1), C(3)});
+  CTable t2 = t;
+  t2.SetGlobal(Conjunction{Neq(V(1), C(4))});
+  CDatabase db(std::vector<CTable>{t, t2});
+
+  RaExpr r = RaExpr::Rel(0, 2);
+  RaExpr q = RaExpr::Union(
+      RaExpr::ProjectCols(RaExpr::Join(r, RaExpr::Rel(1, 2), {{1, 0}}),
+                          {0, 3}),
+      RaExpr::Project(r, {ColOrConst::Col(1), ColOrConst::Col(0)}));
+
+  CTableEvalOptions options;
+  options.interner = &interner;
+  auto out = EvalQueryOnCTables({q}, db, options);
+  ASSERT_TRUE(out.has_value());
+  ASSERT_GT(out->table(0).num_rows(), 0u);
+
+  uint64_t interns_before = interner.stats().intern_calls;
+  for (const CRow& row : out->table(0).rows()) row.LocalId(interner);
+  out->table(0).GlobalId(interner);
+  EXPECT_EQ(interner.stats().intern_calls, interns_before);
+}
+
+TEST(IlAlgebraTest, PlainEvalPreservesRowIdCachesThroughUnionProject) {
+  // The plain path copies rows wholesale (union, relation refs) or rewrites
+  // only the tuple (project), so rows whose condition ids were already
+  // memoized keep them across the evaluation.
+  ConditionInterner interner;
+  CTable t(2);
+  t.AddRow(Tuple{C(1), V(0)}, Conjunction{Neq(V(0), C(2))});
+  t.AddRow(Tuple{V(1), C(3)}, Conjunction{Eq(V(1), C(1))});
+  CDatabase db{t};
+  for (const CRow& row : db.table(0).rows()) row.LocalId(interner);
+
+  RaExpr r = RaExpr::Rel(0, 2);
+  RaExpr q = RaExpr::Union(
+      r, RaExpr::Project(r, {ColOrConst::Col(1), ColOrConst::Col(0)}));
+  CTableEvalOptions plain;
+  plain.use_interner = false;
+  auto out = EvalOnCTables(q, db, plain);
+  ASSERT_TRUE(out.has_value());
+  ASSERT_EQ(out->num_rows(), 4u);
+
+  uint64_t interns_before = interner.stats().intern_calls;
+  for (const CRow& row : out->rows()) row.LocalId(interner);
+  EXPECT_EQ(interner.stats().intern_calls, interns_before);
+}
+
 TEST(IlAlgebraTest, QueryCarriesGlobalCondition) {
   CTable t(1);
   t.AddRow(Tuple{V(0)});

@@ -6,6 +6,8 @@ each fast-path benchmark with its seed-path twin by name:
 
     *_SemiNaive/N      vs  *_Naive/N        (conditioned Datalog fixpoint)
     *_InternedPath/N   vs  *_SeedPath/N     (Imielinski-Lipski image)
+    *_HashJoin/N       vs  *_NestedLoop/N   (RA select-over-product fusion)
+    *_IndexedJoin/N    vs  *_ScanJoin/N     (indexed body-atom matching)
 
 Exits nonzero when any fast path takes more than --max-ratio times its seed
 pair (default 2.0, the CI regression budget), or when no pair was found at
@@ -16,7 +18,8 @@ import argparse
 import json
 import sys
 
-PAIRS = [("SemiNaive", "Naive"), ("InternedPath", "SeedPath")]
+PAIRS = [("SemiNaive", "Naive"), ("InternedPath", "SeedPath"),
+         ("HashJoin", "NestedLoop"), ("IndexedJoin", "ScanJoin")]
 
 
 def load_times(paths):
