@@ -2,19 +2,34 @@
 //
 // The Imielinski–Lipski algebra spends its time in joins: Theorem 5.2(1)'s
 // PTIME bound hides a |T1| x |T2| pair loop per product. This bench measures
-// the hash-join fusion of selection-over-product (tables/tuple_index.h,
-// ilalgebra/ctable_eval.cc) against the nested loop it replaces, on wide
-// equality joins — interned and plain paths, ground rows and null-laden rows
-// (nulls at a join column land in the index's wildcard list and every probe
-// must revisit them).
+// the planned join execution (ilalgebra/join_plan.h, tables/tuple_index.h,
+// ilalgebra/ctable_eval.cc) against the paths it replaces, on wide equality
+// joins — interned and plain paths, ground rows and null-laden rows (nulls
+// at a join column land in the index's per-column wildcard levels and
+// prefix-matching probes must revisit them).
 //
-// Each workload runs as a *_HashJoin / *_NestedLoop pair; CI parses the JSON
-// output and fails when the fused path regresses past 2x its seed pair
-// (tools/check_bench_regression.py). The build side is a relation ref, so
-// across iterations the probe hits the CTable's cached index — the
-// steady-state of repeated queries over a live table.
+// Two kinds of pairs, both gated by tools/check_bench_regression.py on the
+// JSON output:
+//
+//   *_HashJoin / *_NestedLoop      binary planned join vs the seed nested
+//                                  loop (fails CI past 2x);
+//   *_PlannedJoin / *_BinaryFusion the n-ary planner (greedy reordering +
+//                                  projection sink over row-id combos) vs
+//                                  the PR 3 binary-only fusion baseline
+//                                  (CTableEvalOptions::binary_join_only) on
+//                                  a 4-way chain join whose written order
+//                                  is pessimal — the selective filter sits
+//                                  on the LAST relation, so the left-deep
+//                                  baseline materializes large
+//                                  intermediates the planner never builds.
+//
+// Build sides are relation refs, so across iterations the probes hit each
+// CTable's cached index — the steady-state of repeated queries over a live
+// table.
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
 
 #include "bench_util.h"
 #include "ilalgebra/ctable_eval.h"
@@ -121,16 +136,119 @@ BENCHMARK(BM_EquiJoin_Nulls_Interned_NestedLoop)
     ->Range(64, 256)
     ->Unit(benchmark::kMicrosecond);
 
+// --- N-ary planner vs binary fusion ----------------------------------------
+
+/// 4-way chain join a.1 = b.0, b.1 = c.0, c.1 = d.0 over fan-out-8 edges
+/// (each join value is shared by n/m = 8 rows per side), with the selective
+/// filter d.1 = const on the LAST relation in written order. Written
+/// left-deep, the binary fusion executes Join(Join(Join(a,b),c),d) as
+/// given: a |><| b materializes ~8n rows, (a |><| b) |><| c ~64n, and only
+/// the final join meets the 1-row filtered d. The n-ary planner pushes the
+/// filter into d, seeds the greedy order there, and walks the chain
+/// backwards over row-id combinations — a few hundred probes, no
+/// intermediate materialization.
+CDatabase Chain4Input(int n) {
+  int m = std::max(1, n / 8);
+  CTable a(2);
+  CTable b(2);
+  CTable c(2);
+  CTable d(2);
+  for (int i = 0; i < n; ++i) {
+    int v = i % m;
+    a.AddRow(Tuple{C(100000 + i), C(v)});
+    b.AddRow(Tuple{C(v), C(m + v)});
+    c.AddRow(Tuple{C(m + v), C(2 * m + v)});
+    d.AddRow(Tuple{C(2 * m + v), C(3 * m + i)});
+  }
+  return CDatabase(std::vector<CTable>{std::move(a), std::move(b),
+                                       std::move(c), std::move(d)});
+}
+
+RaExpr Chain4Query(int n) {
+  int m = std::max(1, n / 8);
+  RaExpr j = RaExpr::Join(
+      RaExpr::Join(
+          RaExpr::Join(RaExpr::Rel(0, 2), RaExpr::Rel(1, 2), {{1, 0}}),
+          RaExpr::Rel(2, 2), {{3, 0}}),
+      RaExpr::Rel(3, 2), {{5, 0}});
+  return RaExpr::Select(
+      j, {SelectAtom::Eq(ColOrConst::Col(7), ColOrConst::Const(3 * m))});
+}
+
+void RunChain4(benchmark::State& state, bool use_interner, bool binary_only,
+               const char* label) {
+  int n = static_cast<int>(state.range(0));
+  CDatabase db = Chain4Input(n);
+  RaExpr q = Chain4Query(n);
+  CTableEvalStats stats;
+  CTableEvalOptions options;
+  options.use_interner = use_interner;
+  options.binary_join_only = binary_only;
+  size_t rows = 0;
+  for (auto _ : state) {
+    stats = {};
+    CTableEvalOptions o = options;
+    o.stats = &stats;
+    auto out = EvalOnCTables(q, db, o);
+    rows = out->num_rows();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["plans"] = static_cast<double>(stats.planned_joins);
+  state.counters["steps"] = static_cast<double>(stats.hash_joins);
+  state.counters["probes"] = static_cast<double>(stats.index_probes);
+  state.counters["join_pairs"] = static_cast<double>(stats.join_pairs);
+  state.counters["sunk"] = static_cast<double>(stats.projections_sunk);
+  state.SetLabel(label);
+}
+
+void BM_Chain4_SelectiveTail_Interned_PlannedJoin(benchmark::State& state) {
+  RunChain4(state, true, false,
+            "4-way chain, selective tail, interned n-ary planner");
+}
+BENCHMARK(BM_Chain4_SelectiveTail_Interned_PlannedJoin)
+    ->RangeMultiplier(2)
+    ->Range(64, 512)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Chain4_SelectiveTail_Interned_BinaryFusion(benchmark::State& state) {
+  RunChain4(state, true, true,
+            "4-way chain, selective tail, interned binary-only fusion");
+}
+BENCHMARK(BM_Chain4_SelectiveTail_Interned_BinaryFusion)
+    ->RangeMultiplier(2)
+    ->Range(64, 512)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Chain4_SelectiveTail_Plain_PlannedJoin(benchmark::State& state) {
+  RunChain4(state, false, false,
+            "4-way chain, selective tail, plain n-ary planner");
+}
+BENCHMARK(BM_Chain4_SelectiveTail_Plain_PlannedJoin)
+    ->RangeMultiplier(2)
+    ->Range(64, 512)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Chain4_SelectiveTail_Plain_BinaryFusion(benchmark::State& state) {
+  RunChain4(state, false, true,
+            "4-way chain, selective tail, plain binary-only fusion");
+}
+BENCHMARK(BM_Chain4_SelectiveTail_Plain_BinaryFusion)
+    ->RangeMultiplier(2)
+    ->Range(64, 512)
+    ->Unit(benchmark::kMicrosecond);
+
 }  // namespace
 }  // namespace pw
 
 int main(int argc, char** argv) {
   pw::benchutil::Header(
-      "EXTENSION: hash joins on c-tables via the tuple-index layer",
-      "Equality selections over products fused into hash joins on the bound "
-      "columns (selection pushdown included) vs the nested-loop "
-      "product+select of the seed evaluator, on ground and null-laden wide "
-      "joins, interned and plain paths.");
+      "EXTENSION: planned joins on c-tables via the tuple-index layer",
+      "Equality selections over products executed as planned hash joins "
+      "(conjunct pushdown, greedy n-ary ordering, projection sink) vs the "
+      "nested-loop product+select of the seed evaluator and vs the "
+      "binary-only fusion baseline, on ground and null-laden wide joins, "
+      "interned and plain paths.");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,10 +1,14 @@
 #include "ilalgebra/ctable_eval.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
+#include <numeric>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "ilalgebra/join_plan.h"
 #include "tables/tuple_index.h"
 
 namespace pw {
@@ -15,97 +19,27 @@ Term ResolveTerm(const ColOrConst& o, const Tuple& tuple) {
   return o.is_column ? tuple[o.column] : Term::Const(o.constant);
 }
 
-/// Instantiates one select atom against a row's tuple; appends to `local`.
-/// Returns false if the atom is trivially false for this row.
-bool ApplySelectAtom(const SelectAtom& atom, const Tuple& tuple,
-                     Conjunction& local) {
-  Term l = ResolveTerm(atom.lhs, tuple);
-  Term r = ResolveTerm(atom.rhs, tuple);
-  CondAtom cond = atom.is_equality ? Eq(l, r) : Neq(l, r);
+/// Instantiates one atom from already-resolved terms; appends to `local`.
+/// Returns false if the atom is trivially false for these terms.
+bool ApplyAtomTerms(bool is_equality, Term l, Term r, Conjunction& local) {
+  CondAtom cond = is_equality ? Eq(l, r) : Neq(l, r);
   if (IsTriviallyFalse(cond)) return false;
   if (!IsTriviallyTrue(cond)) local.Add(cond);
   return true;
 }
 
-// --- Hash-join planning ------------------------------------------------------
-//
-// A selection directly over a product is a join. The plan splits the select
-// atoms by which side of the product they touch:
-//
-//   - an equality between a left column and a right column becomes a join
-//     key (the hash columns of the build-side index);
-//   - an atom touching columns of only one side becomes a pushdown filter,
-//     applied to that side's rows before any pairing;
-//   - everything else (cross-side inequalities, constant-only atoms) stays
-//     in `pair_atoms` and is applied per emitted pair.
-//
-// Fused execution is output-identical to product-then-select: the index and
-// the pushdown only skip combinations the selection would have dropped on a
-// trivially-false ground atom (or, on the interned path, an unsatisfiable
-// condition), and candidates are enumerated in ascending row order, which is
-// exactly the order of the nested loop they replace.
-
-struct JoinPlan {
-  bool fused = false;
-  int left_arity = 0;
-  std::vector<int> left_cols;   // aligned join key columns: probe side ...
-  std::vector<int> right_cols;  // ... and build side (right-local coords)
-  std::vector<SelectAtom> left_atoms;   // pushdown, left coordinates
-  std::vector<SelectAtom> right_atoms;  // pushdown, rebased to right
-  std::vector<SelectAtom> pair_atoms;   // per-pair, product coordinates
-                                        // (join keys included: they emit the
-                                        // condition atoms variable matches
-                                        // require)
-};
-
-/// -1: constant, 0: left column, 1: right column.
-int SideOf(const ColOrConst& o, int left_arity) {
-  if (!o.is_column) return -1;
-  return o.column < left_arity ? 0 : 1;
-}
-
-SelectAtom RebasedToRight(SelectAtom a, int left_arity) {
-  if (a.lhs.is_column) a.lhs.column -= left_arity;
-  if (a.rhs.is_column) a.rhs.column -= left_arity;
-  return a;
-}
-
-JoinPlan PlanSelectOverProduct(const RaExpr& expr, bool enabled) {
-  JoinPlan plan;
-  if (!enabled || expr.op() != RaOp::kSelect ||
-      expr.input().op() != RaOp::kProduct) {
-    return plan;
-  }
-  plan.left_arity = expr.input().left().arity();
-  for (const SelectAtom& a : expr.atoms()) {
-    int lhs = SideOf(a.lhs, plan.left_arity);
-    int rhs = SideOf(a.rhs, plan.left_arity);
-    if (a.is_equality && lhs + rhs == 1 && lhs != rhs) {  // one col per side
-      const ColOrConst& left = lhs == 0 ? a.lhs : a.rhs;
-      const ColOrConst& right = lhs == 0 ? a.rhs : a.lhs;
-      plan.left_cols.push_back(left.column);
-      plan.right_cols.push_back(right.column - plan.left_arity);
-      plan.pair_atoms.push_back(a);
-      continue;
-    }
-    bool touches_left = lhs == 0 || rhs == 0;
-    bool touches_right = lhs == 1 || rhs == 1;
-    if (touches_left && !touches_right) {
-      plan.left_atoms.push_back(a);
-    } else if (touches_right && !touches_left) {
-      plan.right_atoms.push_back(RebasedToRight(a, plan.left_arity));
-    } else {
-      plan.pair_atoms.push_back(a);
-    }
-  }
-  plan.fused = !plan.left_cols.empty();
-  return plan;
+/// Instantiates one select atom against a row's tuple; appends to `local`.
+/// Returns false if the atom is trivially false for this row.
+bool ApplySelectAtom(const SelectAtom& atom, const Tuple& tuple,
+                     Conjunction& local) {
+  return ApplyAtomTerms(atom.is_equality, ResolveTerm(atom.lhs, tuple),
+                        ResolveTerm(atom.rhs, tuple), local);
 }
 
 /// True iff no atom instantiates to a trivially false ground atom on
 /// `tuple` — a row failing this can never survive the selection, whatever
-/// the other side contributes. (Pre-filter only: appended condition atoms
-/// are discarded; the pair loop re-applies every atom in query order.)
+/// the other leaves contribute. (Pre-filter only: appended condition atoms
+/// are discarded; the replay re-applies every atom in query order.)
 bool PassesFilter(const std::vector<SelectAtom>& atoms, const Tuple& tuple) {
   Conjunction scratch;
   for (const SelectAtom& a : atoms) {
@@ -114,13 +48,43 @@ bool PassesFilter(const std::vector<SelectAtom>& atoms, const Tuple& tuple) {
   return true;
 }
 
+// --- Planned n-ary join execution -------------------------------------------
+//
+// Conjunctive prefixes (select*/project* over an n-ary product tree) are
+// normalized and partitioned by the join planner (ilalgebra/join_plan.h)
+// and executed here as a greedily-ordered sequence of hash-join steps over
+// row-id combinations:
+//
+//   - every leaf is evaluated once and its pushdown conjuncts applied
+//     (dropped rows keep their id, so relation-ref leaves probe the
+//     CTable's cached, stamp-invalidated index across queries);
+//   - intermediate state is a vector of leaf-row-id combinations — no
+//     intermediate tuple or condition is materialized, which is what "push
+//     projections below joins" buys: a column not needed by a later key, a
+//     conjunct, or the output is never touched;
+//   - each step probes the new leaf's index with the key resolved from the
+//     partial combination (non-ground keys fall back to a scan of the
+//     leaf), applies the conjuncts that became decidable, and (interned)
+//     conjoins conditions with unsatisfiable-prefix pruning;
+//   - finally the surviving combinations are sorted lexicographically by
+//     their leaf-id vector — exactly the order the nested loops enumerate —
+//     and emitted through the plan's output spec (and, on the plain path,
+//     the replay event list, which rebuilds each local condition
+//     byte-identically: leaf locals and instantiated atoms in tree order).
+//
+// The join machinery is pure candidate pruning: a skipped combination is
+// one the nested loops would have dropped on a trivially-false ground atom
+// or (interned) an unsatisfiable condition, so planned output == nested
+// output, row for row.
+
 // --- Interned fast path ----------------------------------------------------
 //
 // Local conditions travel as ConjIds through the whole expression tree and
 // are materialized exactly once at the end; every conjoin is a memoized
 // pairwise And, and rows whose condition canonicalizes to false disappear on
-// the spot. Since ids are canonical, the |T1| x |T2| pair loop of a product
-// touches only |distinct(T1)| x |distinct(T2)| closures.
+// the spot. Since ids are canonical, the order in which leaf conditions and
+// conjunct batches are conjoined does not matter: the accumulated id of a
+// surviving combination equals the id the nested loops would produce.
 
 struct InternedRow {
   Tuple tuple;
@@ -136,14 +100,16 @@ std::optional<InternedTable> EvalInterned(const RaExpr& expr,
                                           const CDatabase& database,
                                           ConditionInterner& interner,
                                           const CTableEvalOptions& options,
-                                          CTableEvalStats& stats);
+                                          CTableEvalStats& stats,
+                                          bool skip_plan = false);
 
-/// Conjoins the instantiated pushdown atoms onto a side row's condition.
+/// Conjoins the instantiated pushdown atoms onto a leaf row's condition.
 /// Returns false when the row can never pair (a trivially false atom, or an
-/// unsatisfiable strengthened condition). Pushing side atoms into side
-/// conditions is output-preserving on this path: the per-pair condition is
-/// canonicalized from the union of all contributed atoms, so it interns to
-/// the same id whether a side atom joined before or during pairing.
+/// unsatisfiable strengthened condition). Pushing leaf atoms into leaf
+/// conditions is output-preserving on this path: the per-combination
+/// condition is canonicalized from the union of all contributed atoms, so
+/// it interns to the same id whether a leaf atom joined before or during
+/// pairing.
 bool StrengthenInterned(const std::vector<SelectAtom>& atoms,
                         const Tuple& tuple, ConditionInterner& interner,
                         ConjId& cond) {
@@ -155,136 +121,233 @@ bool StrengthenInterned(const std::vector<SelectAtom>& atoms,
   return interner.Satisfiable(cond);
 }
 
-/// The build (right) side of an interned hash join: per-candidate tuples and
-/// strengthened conditions (kFalseConj marks a dropped row), plus the index
-/// to probe. A relation-ref side indexes the source CTable through its
-/// cached, stamp-invalidated index — reused across queries and fixpoint
-/// rounds; any other subexpression is evaluated and indexed ephemerally.
-struct InternedBuildSide {
-  InternedTable owned;  // evaluated subtree (empty for a relation ref)
+/// One evaluated, pushdown-filtered leaf of an interned planned join. Rows
+/// keep their ids (kFalseConj marks a dropped row) so a relation-ref leaf
+/// can probe the source CTable's cached, stamp-invalidated index — reused
+/// across queries and fixpoint rounds; any other subexpression is evaluated
+/// and indexed ephemerally.
+struct PlannedLeafInterned {
+  const CTable* table = nullptr;  // relation-ref leaves: cached index owner
+  InternedTable owned;            // other leaves: the evaluated subtree
   std::vector<const Tuple*> tuples;
-  std::vector<ConjId> conds;
-  std::unique_ptr<TupleIndex> ephemeral;
-  const TupleIndex* index = nullptr;
+  std::vector<ConjId> conds;      // kFalseConj = dropped before pairing
+  size_t live = 0;
 };
 
-std::optional<InternedBuildSide> BuildInternedSide(
-    const RaExpr& right, const JoinPlan& plan, const CDatabase& database,
+std::optional<InternedTable> EvalPlannedInterned(
+    const RaExpr& expr, const JoinPlan& plan, const CDatabase& database,
     ConditionInterner& interner, const CTableEvalOptions& options,
     CTableEvalStats& stats) {
-  InternedBuildSide out;
-  if (right.op() == RaOp::kRel) {
-    const CTable& table = database.table(right.rel_index());
-    bool built = false;
-    out.index = &table.Index(plan.right_cols, &built);
-    if (built) ++stats.index_builds;
-    out.tuples.reserve(table.num_rows());
-    out.conds.reserve(table.num_rows());
-    for (const CRow& row : table.rows()) {
-      ConjId cond = row.LocalId(interner);
-      if (!interner.Satisfiable(cond) ||
-          !StrengthenInterned(plan.right_atoms, row.tuple, interner, cond)) {
-        ++stats.pushdown_dropped_rows;
-        cond = ConditionInterner::kFalseConj;
+  const size_t n = plan.leaves.size();
+  std::vector<PlannedLeafInterned> leaves(n);
+  for (size_t k = 0; k < n; ++k) {
+    const JoinLeaf& spec = plan.leaves[k];
+    PlannedLeafInterned& leaf = leaves[k];
+    if (spec.expr.op() == RaOp::kRel) {
+      // Row ids must stay aligned with the table (its cached index covers
+      // every row), so dropped rows keep their slot, marked kFalseConj.
+      leaf.table = &database.table(spec.expr.rel_index());
+      leaf.tuples.reserve(leaf.table->num_rows());
+      leaf.conds.reserve(leaf.table->num_rows());
+      for (const CRow& row : leaf.table->rows()) {
+        ConjId cond = row.LocalId(interner);
+        if (!interner.Satisfiable(cond)) {
+          // An unsatisfiable base condition is not a pushdown drop — the
+          // nested kRel path skips these rows without counting either.
+          cond = ConditionInterner::kFalseConj;
+        } else if (!StrengthenInterned(plan.pushdown[k], row.tuple, interner,
+                                       cond)) {
+          ++stats.pushdown_dropped_rows;
+          cond = ConditionInterner::kFalseConj;
+        }
+        leaf.tuples.push_back(&row.tuple);
+        leaf.conds.push_back(cond);
       }
-      out.tuples.push_back(&row.tuple);
-      out.conds.push_back(cond);
+    } else {
+      // An evaluated subtree is indexed ephemerally, so filtered rows can
+      // be compacted out before indexing (relative order — and with it the
+      // output's lexicographic order — is preserved).
+      auto r = EvalInterned(spec.expr, database, interner, options, stats);
+      if (!r) return std::nullopt;
+      leaf.owned = std::move(*r);
+      leaf.tuples.reserve(leaf.owned.rows.size());
+      leaf.conds.reserve(leaf.owned.rows.size());
+      for (InternedRow& row : leaf.owned.rows) {
+        ConjId cond = row.cond;
+        if (!StrengthenInterned(plan.pushdown[k], row.tuple, interner,
+                                cond)) {
+          ++stats.pushdown_dropped_rows;
+          continue;
+        }
+        leaf.tuples.push_back(&row.tuple);
+        leaf.conds.push_back(cond);
+      }
     }
-    return out;
-  }
-  auto r = EvalInterned(right, database, interner, options, stats);
-  if (!r) return std::nullopt;
-  out.owned.arity = r->arity;
-  for (InternedRow& row : r->rows) {
-    ConjId cond = row.cond;
-    if (!StrengthenInterned(plan.right_atoms, row.tuple, interner, cond)) {
-      ++stats.pushdown_dropped_rows;
-      continue;
+    for (ConjId c : leaf.conds) {
+      leaf.live += c != ConditionInterner::kFalseConj;
     }
-    out.owned.rows.push_back({std::move(row.tuple), cond});
   }
-  out.ephemeral = std::make_unique<TupleIndex>(plan.right_cols);
-  ++stats.index_builds;
-  out.tuples.reserve(out.owned.rows.size());
-  out.conds.reserve(out.owned.rows.size());
-  for (size_t i = 0; i < out.owned.rows.size(); ++i) {
-    out.ephemeral->Add(out.owned.rows[i].tuple, i);
-    out.tuples.push_back(&out.owned.rows[i].tuple);
-    out.conds.push_back(out.owned.rows[i].cond);
+  ++stats.planned_joins;
+  stats.planned_join_leaves += n;
+  stats.conjuncts_pushed += plan.conjuncts_pushed;
+  stats.projections_sunk += plan.projections_sunk;
+
+  std::vector<size_t> live(n);
+  for (size_t k = 0; k < n; ++k) live[k] = leaves[k].live;
+  std::vector<JoinStep> steps = OrderJoinSteps(plan, live);
+
+  auto term_at = [&](const uint32_t* ids, int col) -> Term {
+    int k = plan.col_leaf[col];
+    return (*leaves[k].tuples[ids[k]])[col - plan.leaves[k].base];
+  };
+  auto resolve = [&](const uint32_t* ids, const ColOrConst& o) -> Term {
+    return o.is_column ? term_at(ids, o.column) : Term::Const(o.constant);
+  };
+
+  // Constant conjuncts decide emptiness once, at the seed.
+  {
+    Conjunction scratch;
+    for (int ci : steps[0].conjuncts) {
+      const SelectAtom& a = plan.conjuncts[ci].atom;
+      if (!ApplyAtomTerms(a.is_equality, Term::Const(a.lhs.constant),
+                          Term::Const(a.rhs.constant), scratch)) {
+        return InternedTable{expr.arity(), {}};
+      }
+    }
   }
-  out.index = out.ephemeral.get();
-  return out;
-}
 
-std::optional<InternedTable> EvalJoinInterned(const RaExpr& expr,
-                                              const JoinPlan& plan,
-                                              const CDatabase& database,
-                                              ConditionInterner& interner,
-                                              const CTableEvalOptions& options,
-                                              CTableEvalStats& stats) {
-  const RaExpr& prod = expr.input();
-  auto l = EvalInterned(prod.left(), database, interner, options, stats);
-  if (!l) return std::nullopt;
-  auto build = BuildInternedSide(prod.right(), plan, database, interner,
-                                 options, stats);
-  if (!build) return std::nullopt;
-  ++stats.hash_joins;
+  std::vector<uint32_t> combos;  // stride n; unjoined leaves hold 0
+  std::vector<ConjId> conds;
+  {
+    const int seed = steps[0].leaf;
+    const PlannedLeafInterned& sl = leaves[seed];
+    for (size_t i = 0; i < sl.conds.size(); ++i) {
+      if (sl.conds[i] == ConditionInterner::kFalseConj) continue;
+      size_t at = combos.size();
+      combos.resize(at + n, 0);
+      combos[at + seed] = static_cast<uint32_t>(i);
+      conds.push_back(sl.conds[i]);
+    }
+  }
 
-  InternedTable out{expr.arity(), {}};
-  const size_t num_build_rows = build->tuples.size();
   Tuple key;
   std::vector<size_t> candidates;
-  for (InternedRow& lrow : l->rows) {
-    ConjId lcond = lrow.cond;
-    if (!StrengthenInterned(plan.left_atoms, lrow.tuple, interner, lcond)) {
-      ++stats.pushdown_dropped_rows;
-      continue;
+  std::vector<uint32_t> scratch(n);
+  for (size_t si = 1; si < steps.size(); ++si) {
+    const JoinStep& step = steps[si];
+    const PlannedLeafInterned& bl = leaves[step.leaf];
+    const size_t num_build = bl.tuples.size();
+    const TupleIndex* index = nullptr;
+    std::unique_ptr<TupleIndex> ephemeral;
+    if (!step.build_cols.empty()) {
+      ++stats.hash_joins;
+      if (bl.table != nullptr) {
+        bool built = false;
+        bool extended = false;
+        index = &bl.table->Index(step.build_cols, &built, &extended);
+        stats.index_builds += built;
+        stats.index_extends += extended;
+      } else {
+        ephemeral = std::make_unique<TupleIndex>(step.build_cols);
+        ++stats.index_builds;
+        for (size_t i = 0; i < num_build; ++i) {
+          ephemeral->Add(*bl.tuples[i], i);
+        }
+        index = ephemeral.get();
+      }
     }
-    key.clear();
-    for (int c : plan.left_cols) key.push_back(lrow.tuple[c]);
-    // A key with a null in it matches any build row under a condition, so
-    // only ground keys can probe; others fall back to the full scan.
-    bool keyed = TupleIndex::IsGroundKey(key);
-    if (keyed) {
-      ++stats.index_probes;
-      candidates = build->index->Candidates(key, 0, num_build_rows);
-      stats.index_hits += candidates.size();
-    }
-    size_t count = keyed ? candidates.size() : num_build_rows;
-    (keyed ? stats.join_pairs : stats.scan_pairs) += count;
-    for (size_t k = 0; k < count; ++k) {
-      size_t id = keyed ? candidates[k] : k;
-      ConjId rcond = build->conds[id];
-      if (rcond == ConditionInterner::kFalseConj) continue;
-      ConjId combined = interner.And(lcond, rcond);
-      if (!interner.Satisfiable(combined)) continue;
-      Tuple t = lrow.tuple;
-      const Tuple& rt = *build->tuples[id];
-      t.insert(t.end(), rt.begin(), rt.end());
-      Conjunction sel;
-      bool keep = true;
-      for (const SelectAtom& a : plan.pair_atoms) {
-        if (!ApplySelectAtom(a, t, sel)) {
-          keep = false;
-          break;
+    std::vector<uint32_t> next;
+    std::vector<ConjId> next_conds;
+    const size_t num_combos = conds.size();
+    for (size_t c = 0; c < num_combos; ++c) {
+      const uint32_t* ids = combos.data() + c * n;
+      bool keyed = false;
+      if (index != nullptr) {
+        key.clear();
+        for (int col : step.probe_cols) key.push_back(term_at(ids, col));
+        // A key with a null in it matches any build row under a condition,
+        // so only ground keys can probe; others fall back to the full scan.
+        keyed = TupleIndex::IsGroundKey(key);
+        if (keyed) {
+          ++stats.index_probes;
+          candidates = index->Candidates(key, 0, num_build);
+          stats.index_hits += candidates.size();
         }
       }
-      if (!keep) continue;
-      if (sel.size() > 0) {
-        combined = interner.And(combined, interner.Intern(sel));
+      size_t count = keyed ? candidates.size() : num_build;
+      (keyed ? stats.join_pairs : stats.scan_pairs) += count;
+      std::copy(ids, ids + n, scratch.begin());
+      for (size_t t = 0; t < count; ++t) {
+        size_t id = keyed ? candidates[t] : t;
+        ConjId rcond = bl.conds[id];
+        if (rcond == ConditionInterner::kFalseConj) continue;
+        ConjId combined = interner.And(conds[c], rcond);
         if (!interner.Satisfiable(combined)) continue;
+        scratch[step.leaf] = static_cast<uint32_t>(id);
+        Conjunction sel;
+        bool keep = true;
+        for (int ci : step.conjuncts) {
+          const SelectAtom& a = plan.conjuncts[ci].atom;
+          if (!ApplyAtomTerms(a.is_equality, resolve(scratch.data(), a.lhs),
+                              resolve(scratch.data(), a.rhs), sel)) {
+            keep = false;
+            break;
+          }
+        }
+        if (!keep) continue;
+        if (sel.size() > 0) {
+          combined = interner.And(combined, interner.Intern(sel));
+          if (!interner.Satisfiable(combined)) continue;
+        }
+        next.insert(next.end(), scratch.begin(), scratch.end());
+        next_conds.push_back(combined);
       }
-      out.rows.push_back({std::move(t), combined});
     }
+    combos.swap(next);
+    conds.swap(next_conds);
+  }
+
+  // Emit in nested-loop order: lexicographic in the leaf-id vector.
+  const size_t num_out = conds.size();
+  std::vector<uint32_t> order(num_out);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    const uint32_t* ra = combos.data() + static_cast<size_t>(a) * n;
+    const uint32_t* rb = combos.data() + static_cast<size_t>(b) * n;
+    return std::lexicographical_compare(ra, ra + n, rb, rb + n);
+  });
+  InternedTable out{expr.arity(), {}};
+  out.rows.reserve(num_out);
+  for (uint32_t oi : order) {
+    const uint32_t* ids = combos.data() + static_cast<size_t>(oi) * n;
+    Tuple t;
+    t.reserve(plan.outputs.size());
+    for (const ColOrConst& o : plan.outputs) t.push_back(resolve(ids, o));
+    out.rows.push_back({std::move(t), conds[oi]});
   }
   return out;
 }
 
+/// `skip_plan` suppresses the planning attempt: when an enclosing node of
+/// the same select*/project*/product prefix already planned and failed, a
+/// descendant sees a subset of its conjuncts over the same leaves, so it
+/// cannot fuse either — re-flattening would be quadratic rework.
 std::optional<InternedTable> EvalInterned(const RaExpr& expr,
                                           const CDatabase& database,
                                           ConditionInterner& interner,
                                           const CTableEvalOptions& options,
-                                          CTableEvalStats& stats) {
+                                          CTableEvalStats& stats,
+                                          bool skip_plan) {
+  if (!skip_plan && options.use_hash_join &&
+      (expr.op() == RaOp::kSelect || expr.op() == RaOp::kProject ||
+       expr.op() == RaOp::kProduct)) {
+    JoinPlan plan =
+        PlanJoin(expr, JoinPlanOptions{options.binary_join_only});
+    if (plan.fused) {
+      return EvalPlannedInterned(expr, plan, database, interner, options,
+                                 stats);
+    }
+  }
   switch (expr.op()) {
     case RaOp::kRel: {
       InternedTable out{expr.arity(), {}};
@@ -307,7 +370,8 @@ std::optional<InternedTable> EvalInterned(const RaExpr& expr,
       return out;
     }
     case RaOp::kProject: {
-      auto in = EvalInterned(expr.input(), database, interner, options, stats);
+      auto in = EvalInterned(expr.input(), database, interner, options, stats,
+                             /*skip_plan=*/true);
       if (!in) return std::nullopt;
       InternedTable out{expr.arity(), {}};
       out.rows.reserve(in->rows.size());
@@ -322,12 +386,8 @@ std::optional<InternedTable> EvalInterned(const RaExpr& expr,
       return out;
     }
     case RaOp::kSelect: {
-      JoinPlan plan = PlanSelectOverProduct(expr, options.use_hash_join);
-      if (plan.fused) {
-        return EvalJoinInterned(expr, plan, database, interner, options,
-                                stats);
-      }
-      auto in = EvalInterned(expr.input(), database, interner, options, stats);
+      auto in = EvalInterned(expr.input(), database, interner, options, stats,
+                             /*skip_plan=*/true);
       if (!in) return std::nullopt;
       InternedTable out{expr.arity(), {}};
       for (InternedRow& row : in->rows) {
@@ -347,8 +407,14 @@ std::optional<InternedTable> EvalInterned(const RaExpr& expr,
       return out;
     }
     case RaOp::kProduct: {
-      auto l = EvalInterned(expr.left(), database, interner, options, stats);
-      auto r = EvalInterned(expr.right(), database, interner, options, stats);
+      // In binary-only mode the product operands were atomic leaves of the
+      // failed plan — their inner structure was never flattened, so they
+      // must still get their own planning attempt.
+      bool skip = !options.binary_join_only;
+      auto l = EvalInterned(expr.left(), database, interner, options, stats,
+                            skip);
+      auto r = EvalInterned(expr.right(), database, interner, options, stats,
+                            skip);
       if (!l || !r) return std::nullopt;
       ++stats.nested_loop_products;
       stats.scan_pairs += l->rows.size() * r->rows.size();
@@ -384,112 +450,213 @@ std::optional<InternedTable> EvalInterned(const RaExpr& expr,
 
 std::optional<CTable> EvalPlain(const RaExpr& expr, const CDatabase& database,
                                 const CTableEvalOptions& options,
-                                CTableEvalStats& stats);
+                                CTableEvalStats& stats,
+                                bool skip_plan = false);
 
-/// The build (right) side of a plain hash join. A relation-ref side probes
-/// the source CTable's cached index over all rows (nullptr marks a row the
-/// pushdown dropped); any other subexpression is evaluated, filtered, and
+/// One evaluated, pushdown-filtered leaf of a plain planned join. All rows
+/// keep their ids (`dropped` marks) so a relation-ref leaf probes the
+/// source CTable's cached index; other subexpressions are evaluated and
 /// indexed ephemerally.
-struct PlainBuildSide {
-  std::optional<CTable> owned;  // evaluated subtree (empty for relation ref)
-  std::vector<const CRow*> rows;
-  std::unique_ptr<TupleIndex> ephemeral;
-  const TupleIndex* index = nullptr;
+struct PlannedLeafPlain {
+  const CTable* table = nullptr;  // relation-ref leaves: cached index owner
+  std::optional<CTable> owned;    // other leaves: the evaluated subtree
+  std::vector<const CRow*> rows;  // all rows, id-aligned
+  std::vector<char> dropped;      // pushdown-dropped marks
+  size_t live = 0;
 };
 
-std::optional<PlainBuildSide> BuildPlainSide(const RaExpr& right,
-                                             const JoinPlan& plan,
-                                             const CDatabase& database,
-                                             const CTableEvalOptions& options,
-                                             CTableEvalStats& stats) {
-  PlainBuildSide out;
-  if (right.op() == RaOp::kRel) {
-    const CTable& table = database.table(right.rel_index());
-    bool built = false;
-    out.index = &table.Index(plan.right_cols, &built);
-    if (built) ++stats.index_builds;
-    out.rows.reserve(table.num_rows());
-    for (const CRow& row : table.rows()) {
-      if (PassesFilter(plan.right_atoms, row.tuple)) {
-        out.rows.push_back(&row);
-      } else {
-        ++stats.pushdown_dropped_rows;
-        out.rows.push_back(nullptr);
+std::optional<CTable> EvalPlannedPlain(const RaExpr& expr,
+                                       const JoinPlan& plan,
+                                       const CDatabase& database,
+                                       const CTableEvalOptions& options,
+                                       CTableEvalStats& stats) {
+  const size_t n = plan.leaves.size();
+  std::vector<PlannedLeafPlain> leaves(n);
+  for (size_t k = 0; k < n; ++k) {
+    const JoinLeaf& spec = plan.leaves[k];
+    PlannedLeafPlain& leaf = leaves[k];
+    if (spec.expr.op() == RaOp::kRel) {
+      // Id-aligned with the table (cached index); dropped rows are marked.
+      leaf.table = &database.table(spec.expr.rel_index());
+      leaf.rows.reserve(leaf.table->num_rows());
+      leaf.dropped.reserve(leaf.table->num_rows());
+      for (const CRow& row : leaf.table->rows()) {
+        bool ok = PassesFilter(plan.pushdown[k], row.tuple);
+        if (!ok) ++stats.pushdown_dropped_rows;
+        leaf.rows.push_back(&row);
+        leaf.dropped.push_back(!ok);
+        leaf.live += ok;
+      }
+    } else {
+      // Ephemeral index: compact filtered rows out before indexing
+      // (relative order, and with it the output order, is preserved).
+      auto r = EvalPlain(spec.expr, database, options, stats);
+      if (!r) return std::nullopt;
+      leaf.owned = std::move(*r);
+      leaf.rows.reserve(leaf.owned->num_rows());
+      for (const CRow& row : leaf.owned->rows()) {
+        if (!PassesFilter(plan.pushdown[k], row.tuple)) {
+          ++stats.pushdown_dropped_rows;
+          continue;
+        }
+        leaf.rows.push_back(&row);
+      }
+      leaf.dropped.assign(leaf.rows.size(), 0);
+      leaf.live = leaf.rows.size();
+    }
+  }
+  ++stats.planned_joins;
+  stats.planned_join_leaves += n;
+  stats.conjuncts_pushed += plan.conjuncts_pushed;
+  stats.projections_sunk += plan.projections_sunk;
+
+  std::vector<size_t> live(n);
+  for (size_t k = 0; k < n; ++k) live[k] = leaves[k].live;
+  std::vector<JoinStep> steps = OrderJoinSteps(plan, live);
+
+  auto term_at = [&](const uint32_t* ids, int col) -> Term {
+    int k = plan.col_leaf[col];
+    return leaves[k].rows[ids[k]]->tuple[col - plan.leaves[k].base];
+  };
+  auto resolve = [&](const uint32_t* ids, const ColOrConst& o) -> Term {
+    return o.is_column ? term_at(ids, o.column) : Term::Const(o.constant);
+  };
+
+  {
+    Conjunction scratch;
+    for (int ci : steps[0].conjuncts) {
+      const SelectAtom& a = plan.conjuncts[ci].atom;
+      if (!ApplyAtomTerms(a.is_equality, Term::Const(a.lhs.constant),
+                          Term::Const(a.rhs.constant), scratch)) {
+        return CTable(expr.arity());
       }
     }
-    return out;
   }
-  auto r = EvalPlain(right, database, options, stats);
-  if (!r) return std::nullopt;
-  out.owned = std::move(*r);
-  out.ephemeral = std::make_unique<TupleIndex>(plan.right_cols);
-  ++stats.index_builds;
-  for (const CRow& row : out.owned->rows()) {
-    if (!PassesFilter(plan.right_atoms, row.tuple)) {
-      ++stats.pushdown_dropped_rows;
-      continue;
+
+  std::vector<uint32_t> combos;  // stride n; unjoined leaves hold 0
+  {
+    const int seed = steps[0].leaf;
+    const PlannedLeafPlain& sl = leaves[seed];
+    for (size_t i = 0; i < sl.rows.size(); ++i) {
+      if (sl.dropped[i]) continue;
+      size_t at = combos.size();
+      combos.resize(at + n, 0);
+      combos[at + seed] = static_cast<uint32_t>(i);
     }
-    out.ephemeral->Add(row.tuple, out.rows.size());
-    out.rows.push_back(&row);
   }
-  out.index = out.ephemeral.get();
-  return out;
-}
 
-std::optional<CTable> EvalJoinPlain(const RaExpr& expr, const JoinPlan& plan,
-                                    const CDatabase& database,
-                                    const CTableEvalOptions& options,
-                                    CTableEvalStats& stats) {
-  const RaExpr& prod = expr.input();
-  auto l = EvalPlain(prod.left(), database, options, stats);
-  if (!l) return std::nullopt;
-  auto build = BuildPlainSide(prod.right(), plan, database, options, stats);
-  if (!build) return std::nullopt;
-  ++stats.hash_joins;
-
-  CTable out(expr.arity());
-  const size_t num_build_rows = build->rows.size();
   Tuple key;
   std::vector<size_t> candidates;
-  for (const CRow& lrow : l->rows()) {
-    if (!PassesFilter(plan.left_atoms, lrow.tuple)) {
-      ++stats.pushdown_dropped_rows;
-      continue;
+  std::vector<uint32_t> scratch(n);
+  for (size_t si = 1; si < steps.size(); ++si) {
+    const JoinStep& step = steps[si];
+    const PlannedLeafPlain& bl = leaves[step.leaf];
+    const size_t num_build = bl.rows.size();
+    const TupleIndex* index = nullptr;
+    std::unique_ptr<TupleIndex> ephemeral;
+    if (!step.build_cols.empty()) {
+      ++stats.hash_joins;
+      if (bl.table != nullptr) {
+        bool built = false;
+        bool extended = false;
+        index = &bl.table->Index(step.build_cols, &built, &extended);
+        stats.index_builds += built;
+        stats.index_extends += extended;
+      } else {
+        ephemeral = std::make_unique<TupleIndex>(step.build_cols);
+        ++stats.index_builds;
+        for (size_t i = 0; i < num_build; ++i) {
+          ephemeral->Add(bl.rows[i]->tuple, i);
+        }
+        index = ephemeral.get();
+      }
     }
-    key.clear();
-    for (int c : plan.left_cols) key.push_back(lrow.tuple[c]);
-    bool keyed = TupleIndex::IsGroundKey(key);
-    if (keyed) {
-      ++stats.index_probes;
-      candidates = build->index->Candidates(key, 0, num_build_rows);
-      stats.index_hits += candidates.size();
-    }
-    size_t count = keyed ? candidates.size() : num_build_rows;
-    (keyed ? stats.join_pairs : stats.scan_pairs) += count;
-    for (size_t k = 0; k < count; ++k) {
-      const CRow* rrow = build->rows[keyed ? candidates[k] : k];
-      if (rrow == nullptr) continue;
-      Tuple t = lrow.tuple;
-      t.insert(t.end(), rrow->tuple.begin(), rrow->tuple.end());
-      // Every atom, in query order, against the concatenated tuple — the
-      // emitted conjunction is byte-identical to product-then-select.
-      Conjunction local = Conjunction::And(lrow.local(), rrow->local());
-      bool keep = true;
-      for (const SelectAtom& a : expr.atoms()) {
-        if (!ApplySelectAtom(a, t, local)) {
-          keep = false;
-          break;
+    std::vector<uint32_t> next;
+    const size_t num_combos = combos.size() / n;
+    for (size_t c = 0; c < num_combos; ++c) {
+      const uint32_t* ids = combos.data() + c * n;
+      bool keyed = false;
+      if (index != nullptr) {
+        key.clear();
+        for (int col : step.probe_cols) key.push_back(term_at(ids, col));
+        keyed = TupleIndex::IsGroundKey(key);
+        if (keyed) {
+          ++stats.index_probes;
+          candidates = index->Candidates(key, 0, num_build);
+          stats.index_hits += candidates.size();
         }
       }
-      if (keep) out.AddRow(std::move(t), std::move(local));
+      size_t count = keyed ? candidates.size() : num_build;
+      (keyed ? stats.join_pairs : stats.scan_pairs) += count;
+      std::copy(ids, ids + n, scratch.begin());
+      for (size_t t = 0; t < count; ++t) {
+        size_t id = keyed ? candidates[t] : t;
+        if (bl.dropped[id]) continue;
+        scratch[step.leaf] = static_cast<uint32_t>(id);
+        Conjunction sel;
+        bool keep = true;
+        for (int ci : step.conjuncts) {
+          const SelectAtom& a = plan.conjuncts[ci].atom;
+          if (!ApplyAtomTerms(a.is_equality, resolve(scratch.data(), a.lhs),
+                              resolve(scratch.data(), a.rhs), sel)) {
+            keep = false;
+            break;
+          }
+        }
+        if (!keep) continue;
+        next.insert(next.end(), scratch.begin(), scratch.end());
+      }
     }
+    combos.swap(next);
+  }
+
+  // Emit in nested-loop order; the replay events rebuild each local
+  // condition byte-identically (leaf locals and instantiated atoms in the
+  // order the original tree conjoins them).
+  const size_t num_out = combos.size() / n;
+  std::vector<uint32_t> order(num_out);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    const uint32_t* ra = combos.data() + static_cast<size_t>(a) * n;
+    const uint32_t* rb = combos.data() + static_cast<size_t>(b) * n;
+    return std::lexicographical_compare(ra, ra + n, rb, rb + n);
+  });
+  CTable out(expr.arity());
+  for (uint32_t oi : order) {
+    const uint32_t* ids = combos.data() + static_cast<size_t>(oi) * n;
+    Tuple t;
+    t.reserve(plan.outputs.size());
+    for (const ColOrConst& o : plan.outputs) t.push_back(resolve(ids, o));
+    Conjunction local;
+    bool keep = true;
+    for (const ReplayEvent& e : plan.replay) {
+      if (e.kind == ReplayEvent::kLeafLocal) {
+        local.AddAll(leaves[e.leaf].rows[ids[e.leaf]]->local());
+      } else if (!ApplyAtomTerms(e.atom.is_equality,
+                                 resolve(ids, e.atom.lhs),
+                                 resolve(ids, e.atom.rhs), local)) {
+        keep = false;  // unreachable: every atom was applied during a step
+        break;
+      }
+    }
+    if (keep) out.AddRow(std::move(t), std::move(local));
   }
   return out;
 }
 
+/// `skip_plan`: see EvalInterned.
 std::optional<CTable> EvalPlain(const RaExpr& expr, const CDatabase& database,
                                 const CTableEvalOptions& options,
-                                CTableEvalStats& stats) {
+                                CTableEvalStats& stats, bool skip_plan) {
+  if (!skip_plan && options.use_hash_join &&
+      (expr.op() == RaOp::kSelect || expr.op() == RaOp::kProject ||
+       expr.op() == RaOp::kProduct)) {
+    JoinPlan plan =
+        PlanJoin(expr, JoinPlanOptions{options.binary_join_only});
+    if (plan.fused) {
+      return EvalPlannedPlain(expr, plan, database, options, stats);
+    }
+  }
   switch (expr.op()) {
     case RaOp::kRel: {
       CTable out(expr.arity());
@@ -504,7 +671,8 @@ std::optional<CTable> EvalPlain(const RaExpr& expr, const CDatabase& database,
       return out;
     }
     case RaOp::kProject: {
-      auto in = EvalPlain(expr.input(), database, options, stats);
+      auto in = EvalPlain(expr.input(), database, options, stats,
+                          /*skip_plan=*/true);
       if (!in) return std::nullopt;
       CTable out(expr.arity());
       for (const CRow& row : in->rows()) {
@@ -518,11 +686,8 @@ std::optional<CTable> EvalPlain(const RaExpr& expr, const CDatabase& database,
       return out;
     }
     case RaOp::kSelect: {
-      JoinPlan plan = PlanSelectOverProduct(expr, options.use_hash_join);
-      if (plan.fused) {
-        return EvalJoinPlain(expr, plan, database, options, stats);
-      }
-      auto in = EvalPlain(expr.input(), database, options, stats);
+      auto in = EvalPlain(expr.input(), database, options, stats,
+                          /*skip_plan=*/true);
       if (!in) return std::nullopt;
       CTable out(expr.arity());
       for (const CRow& row : in->rows()) {
@@ -539,8 +704,9 @@ std::optional<CTable> EvalPlain(const RaExpr& expr, const CDatabase& database,
       return out;
     }
     case RaOp::kProduct: {
-      auto l = EvalPlain(expr.left(), database, options, stats);
-      auto r = EvalPlain(expr.right(), database, options, stats);
+      bool skip = !options.binary_join_only;  // see the interned arm
+      auto l = EvalPlain(expr.left(), database, options, stats, skip);
+      auto r = EvalPlain(expr.right(), database, options, stats, skip);
       if (!l || !r) return std::nullopt;
       ++stats.nested_loop_products;
       stats.scan_pairs += l->num_rows() * r->num_rows();
@@ -572,9 +738,14 @@ std::optional<CTable> EvalPlain(const RaExpr& expr, const CDatabase& database,
 
 void Accumulate(CTableEvalStats* sink, const CTableEvalStats& s) {
   if (sink == nullptr) return;
+  sink->planned_joins += s.planned_joins;
+  sink->planned_join_leaves += s.planned_join_leaves;
+  sink->conjuncts_pushed += s.conjuncts_pushed;
+  sink->projections_sunk += s.projections_sunk;
   sink->hash_joins += s.hash_joins;
   sink->nested_loop_products += s.nested_loop_products;
   sink->index_builds += s.index_builds;
+  sink->index_extends += s.index_extends;
   sink->index_probes += s.index_probes;
   sink->index_hits += s.index_hits;
   sink->join_pairs += s.join_pairs;

@@ -21,12 +21,17 @@
 // (We do not merge duplicate projected rows, so no disjunctions arise; set
 // semantics is recovered at instantiation time.)
 //
-// Equality selections over products — i.e. joins, including RaExpr::Join —
-// are recognized by a small planning pass and executed as hash joins over
-// the shared tuple-index layer (tables/tuple_index.h), with one-sided
-// selection atoms pushed down into the join sides. The fused execution is
-// output-identical to product-then-select on both the interned and the
-// plain path; see CTableEvalOptions::use_hash_join.
+// Conjunctive shapes — any select*/project* prefix over an n-ary product
+// tree, including RaExpr::Join chains, nested selections, and selections
+// above projections of products — are normalized by the join planner
+// (ilalgebra/join_plan.h) and executed as a greedily-ordered n-way hash
+// join over the shared tuple-index layer (tables/tuple_index.h): one-leaf
+// conjuncts are pushed down into the leaves, cross-leaf equalities key the
+// probes, and projections are sunk below the joins (intermediate state is
+// row-id combinations; a column not needed by a later key, a conjunct, or
+// the output is never materialized). The planned execution is
+// output-identical to the nested loops it replaces on both the interned
+// and the plain path; see CTableEvalOptions::use_hash_join.
 
 #ifndef PW_ILALGEBRA_CTABLE_EVAL_H_
 #define PW_ILALGEBRA_CTABLE_EVAL_H_
@@ -43,15 +48,27 @@ namespace pw {
 /// CTableEvalOptions::stats; counters are accumulated (+=) so one sink can
 /// span several calls.
 struct CTableEvalStats {
-  size_t hash_joins = 0;        // select-over-products fused into hash joins
+  // Plan shape.
+  size_t planned_joins = 0;       // n-way join plans executed
+  size_t planned_join_leaves = 0; // leaves across those plans
+  size_t conjuncts_pushed = 0;    // conjuncts turned into leaf pre-filters
+                                  // (one-leaf atoms and constant atoms)
+  size_t projections_sunk = 0;    // leaf columns never materialized above
+                                  // their leaf (not needed by a key, a
+                                  // conjunct, or the output)
+  // Join execution.
+  size_t hash_joins = 0;        // keyed join steps executed through an index
   size_t nested_loop_products = 0;  // products evaluated as nested loops
-  size_t index_builds = 0;      // tuple indexes built or rebuilt (not reused)
+  size_t index_builds = 0;      // tuple indexes built or rebuilt from
+                                // scratch (never an extend)
+  size_t index_extends = 0;     // cached indexes caught up on appended rows
   size_t index_probes = 0;      // keyed probes into a build-side index
   size_t index_hits = 0;        // candidate rows returned by those probes
   size_t join_pairs = 0;        // row pairs enumerated through the index
   size_t scan_pairs = 0;        // row pairs enumerated by scans (nested
-                                // loops and non-ground-key fallbacks)
-  size_t pushdown_dropped_rows = 0;  // side rows dropped by selection
+                                // loops, cartesian steps, and
+                                // non-ground-key fallbacks)
+  size_t pushdown_dropped_rows = 0;  // leaf rows dropped by conjunct
                                      // pushdown before pairing
 };
 
@@ -66,16 +83,28 @@ struct CTableEvalOptions {
   /// pruning) — chiefly for differential tests and benchmarks.
   bool use_interner = true;
 
-  /// True (the default) fuses an equality selection over a product into a
-  /// hash join on the bound columns, with one-sided selection atoms pushed
-  /// down into the join sides (tables/tuple_index.h; a relation-ref build
-  /// side reuses the CTable's cached index across queries). Applies to both
-  /// the interned and the plain path and is output-identical to the
-  /// nested-loop product + per-row selection it replaces: the index only
-  /// skips pairs the selection would have dropped on a trivially-false
-  /// ground equality. False keeps the seed nested loops — chiefly for
-  /// differential tests and the join benchmarks.
+  /// True (the default) routes every select*/project*/product prefix
+  /// through the n-ary join planner (ilalgebra/join_plan.h): the prefix is
+  /// flattened into leaves + a normalized conjunct set, one-leaf conjuncts
+  /// are pushed into the leaves, the n-way join is ordered greedily by live
+  /// cardinality, each step probes a hash index of the new leaf on the
+  /// cross-leaf equality columns (a relation-ref leaf reuses the CTable's
+  /// cached index across queries), and projections are sunk below the
+  /// joins. Applies to both the interned and the plain path and is
+  /// output-identical to the nested loops it replaces: the index and the
+  /// pushdown only skip combinations the selection would have dropped on a
+  /// trivially-false ground atom (or, interned, an unsatisfiable
+  /// condition), and results are emitted in nested-loop order. False keeps
+  /// the seed nested loops — chiefly for differential tests and the join
+  /// benchmarks.
   bool use_hash_join = true;
+
+  /// With use_hash_join, restricts the planner to the binary fusion shape
+  /// of PR 3 (the flattening collapses at the first product; product
+  /// operands stay atomic leaves and re-enter the planner when evaluated).
+  /// A benchmarking baseline for the n-ary planner — see
+  /// bench/join_index.cc's *_PlannedJoin / *_BinaryFusion pairs.
+  bool binary_join_only = false;
 
   /// Optional interner override. Leave null to use the executing thread's
   /// ConditionInterner::Global() (interners are not thread-safe, so the

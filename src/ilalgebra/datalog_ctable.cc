@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "ilalgebra/join_plan.h"
 #include "tables/tuple_index.h"
 
 namespace pw {
@@ -121,15 +122,19 @@ bool MatchArgs(const Tuple& args, const Tuple& row,
 
 /// The up-to-date index of `pred`'s rows on `cols`. Rows are append-only
 /// during a fixpoint, so the cache only ever extends (the stamp is
-/// constant); builds are counted into the stats.
+/// constant); builds and extends are counted separately into the stats, so
+/// a mid-query catch-up after an append is never mistaken for (or
+/// double-counted as) a rebuild.
 const TupleIndex& IndexFor(EvalState& state, int pred,
                            const std::vector<int>& cols) {
   PredState& ps = state.preds[pred];
   size_t builds_before = ps.indexes.stats().builds;
+  size_t extends_before = ps.indexes.stats().extends;
   const TupleIndex& index = ps.indexes.Get(
       cols, ps.rows.size(), /*stamp=*/1,
       [&ps](size_t i) -> const Tuple& { return *ps.rows[i].tuple; });
   state.stats.index_builds += ps.indexes.stats().builds - builds_before;
+  state.stats.index_extends += ps.indexes.stats().extends - extends_before;
   return index;
 }
 
@@ -175,30 +180,20 @@ bool FireRule(EvalState& state, const DatalogRule& rule, int delta_pos) {
     } else {
       hi = ps.delta_end;
     }
-    // Bound positions of this atom under the current binding: constant
-    // arguments, and variables already bound to a constant. A variable
-    // bound to a null is treated as unbound for keying (its row match adds
-    // an equality condition instead of filtering).
+    // The atom's probe plan under the current binding (the shared planning
+    // layer, ilalgebra/join_plan.h): its bound, constant-valued positions
+    // key a probe into the predicate's index. A variable bound to a null is
+    // treated as unbound for keying (its row match adds an equality
+    // condition instead of filtering).
     std::vector<size_t> candidates;
     bool keyed = false;
     if (state.use_index && lo < hi) {
-      std::vector<int> cols;
-      Tuple key;
-      for (size_t i = 0; i < atom.args.size(); ++i) {
-        Term need = atom.args[i];
-        if (need.is_variable()) {
-          auto it = binding.find(need.variable());
-          if (it == binding.end() || !it->second.is_constant()) continue;
-          need = it->second;
-        }
-        cols.push_back(static_cast<int>(i));
-        key.push_back(need);
-      }
-      if (!cols.empty()) {
+      AtomProbePlan probe = PlanAtomProbe(atom.args, binding);
+      if (!probe.cols.empty()) {
         // Snapshot the candidate ids: a Insert deeper in the recursion may
         // extend this very index (and any row vector) mid-iteration.
-        candidates = IndexFor(state, atom.predicate, cols)
-                         .Candidates(key, lo, hi);
+        candidates = IndexFor(state, atom.predicate, probe.cols)
+                         .Candidates(probe.key, lo, hi);
         ++state.stats.index_probes;
         state.stats.index_hits += candidates.size();
         keyed = true;

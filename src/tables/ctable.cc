@@ -67,13 +67,17 @@ void CTable::AddRow(CRow row) {
 }
 
 const TupleIndex& CTable::Index(const std::vector<int>& columns,
-                                bool* built) const {
+                                bool* built, bool* extended) const {
   if (indexes_ == nullptr) indexes_ = std::make_unique<TupleIndexCache>();
   size_t builds_before = indexes_->stats().builds;
+  size_t extends_before = indexes_->stats().extends;
   const TupleIndex& index = indexes_->Get(
       columns, rows_.size(), rows_stamp_,
       [this](size_t i) -> const Tuple& { return rows_[i].tuple; });
   if (built != nullptr) *built = indexes_->stats().builds != builds_before;
+  if (extended != nullptr) {
+    *extended = indexes_->stats().extends != extends_before;
+  }
   return index;
 }
 

@@ -185,11 +185,14 @@ class CTable {
   /// shared join-acceleration layer, tables/tuple_index.h): built on first
   /// use, extended incrementally as rows are appended, and reused across
   /// queries. `built` (optional) reports whether this call built or rebuilt
-  /// the index rather than reusing it. The reference is owned by the table;
-  /// later mutations extend or rebuild it in place, so snapshot candidate
-  /// lists before mutating. Like the stamped id caches, not thread-safe.
+  /// the index from scratch; `extended` (optional) whether it caught up on
+  /// appended rows instead — never both, so callers can count builds and
+  /// extends separately. The reference is owned by the table; later
+  /// mutations extend or rebuild it in place, so snapshot candidate lists
+  /// before mutating. Like the stamped id caches, not thread-safe.
   const TupleIndex& Index(const std::vector<int>& columns,
-                          bool* built = nullptr) const;
+                          bool* built = nullptr,
+                          bool* extended = nullptr) const;
 
   /// Builds a table whose rows are the facts of `relation` (a complete
   /// relation is the degenerate c-table with no variables).

@@ -13,10 +13,13 @@ void TupleIndex::Add(const Tuple& tuple, size_t row_id) {
   assert(row_id == num_rows_);
   ++num_rows_;
   scratch_key_.clear();
-  for (int c : columns_) {
-    const Term& t = tuple[c];
+  for (size_t j = 0; j < columns_.size(); ++j) {
+    const Term& t = tuple[columns_[j]];
     if (t.is_variable()) {
-      wildcard_.push_back(row_id);
+      // First variable at indexed position j: file under the ground prefix
+      // so probes with a differing prefix never revisit this row.
+      if (levels_.size() <= j) levels_.resize(j + 1);
+      levels_[j][scratch_key_].push_back(row_id);
       return;
     }
     scratch_key_.push_back(t);
@@ -32,18 +35,53 @@ const std::vector<size_t>& TupleIndex::Probe(const Tuple& key) const {
   return it == buckets_.end() ? kEmptyBucket : it->second;
 }
 
+std::vector<size_t> TupleIndex::wildcard() const {
+  std::vector<size_t> out;
+  for (const auto& level : levels_) {
+    for (const auto& [prefix, ids] : level) {
+      out.insert(out.end(), ids.begin(), ids.end());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 std::vector<size_t> TupleIndex::Candidates(const Tuple& key, size_t lo,
                                            size_t hi) const {
-  const std::vector<size_t>& bucket = Probe(key);
-  auto clip = [lo, hi](const std::vector<size_t>& ids) {
-    return std::pair(std::lower_bound(ids.begin(), ids.end(), lo),
-                     std::lower_bound(ids.begin(), ids.end(), hi));
+  assert(key.size() == columns_.size() && IsGroundKey(key));
+  // Gather the clipped id ranges that can match: the ground bucket plus,
+  // per wildcard level j, the rows whose ground prefix equals key[0..j).
+  using Range = std::pair<std::vector<size_t>::const_iterator,
+                          std::vector<size_t>::const_iterator>;
+  std::vector<Range> ranges;
+  size_t total = 0;
+  auto push_range = [&](const std::vector<size_t>& ids) {
+    auto b = std::lower_bound(ids.begin(), ids.end(), lo);
+    auto e = std::lower_bound(b, ids.end(), hi);
+    if (b != e) {
+      ranges.emplace_back(b, e);
+      total += static_cast<size_t>(e - b);
+    }
   };
-  auto [b_lo, b_hi] = clip(bucket);
-  auto [w_lo, w_hi] = clip(wildcard_);
+  auto it = buckets_.find(key);
+  if (it != buckets_.end()) push_range(it->second);
+  Tuple prefix;
+  for (size_t j = 0; j < levels_.size(); ++j) {
+    auto lit = levels_[j].find(prefix);
+    if (lit != levels_[j].end()) push_range(lit->second);
+    prefix.push_back(key[j]);
+  }
   std::vector<size_t> out;
-  out.reserve((b_hi - b_lo) + (w_hi - w_lo));
-  std::merge(b_lo, b_hi, w_lo, w_hi, std::back_inserter(out));
+  out.reserve(total);
+  if (ranges.size() == 1) {
+    out.assign(ranges[0].first, ranges[0].second);
+  } else if (ranges.size() == 2) {
+    std::merge(ranges[0].first, ranges[0].second, ranges[1].first,
+               ranges[1].second, std::back_inserter(out));
+  } else if (!ranges.empty()) {
+    for (const Range& r : ranges) out.insert(out.end(), r.first, r.second);
+    std::sort(out.begin(), out.end());
+  }
   return out;
 }
 
@@ -62,11 +100,15 @@ const TupleIndex& TupleIndexCache::Get(const std::vector<int>& columns,
     built = true;
   }
   if (built) ++stats_.builds;
-  // Catch up on appended rows (all of them, on a fresh build).
+  // Catch up on appended rows (all of them, on a fresh build). An append
+  // caught up on here is an *extend*, counted apart from builds.
+  size_t added = 0;
   for (size_t id = entry.index.num_rows_indexed(); id < num_rows; ++id) {
     entry.index.Add(tuple_of(id), id);
-    ++stats_.rows_indexed;
+    ++added;
   }
+  stats_.rows_indexed += added;
+  if (!built && added > 0) ++stats_.extends;
   return entry.index;
 }
 

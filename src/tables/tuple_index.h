@@ -13,19 +13,26 @@
 // c-table semantics make this subtler than a classical hash join: a table
 // term may be a *variable* (a null), and a null at a join position matches
 // any probe key under an equality condition — dropping such a row would
-// change rep(). The index therefore splits rows per column subset:
+// change rep(). The index therefore splits rows per column subset, with
+// *per-column wildcard granularity*:
 //
 //   - rows whose projection is all-constant hash into ground buckets;
-//   - rows with a variable in any indexed position go to a `wildcard` list
-//     that every probe must also enumerate.
+//   - a row with a variable at some indexed position is filed under the
+//     *longest ground prefix* of the indexed columns: level j holds the
+//     rows whose first variable among the indexed columns sits at position
+//     j, keyed by their ground prefix key (columns 0..j-1 of the subset).
 //
-// A probe with an all-constant key enumerates one bucket plus the wildcard
-// list; a probe whose key itself contains a variable degenerates to the full
-// scan (the caller detects this via `IsGroundKey` and falls back). The index
-// is a pure *candidate pruner*: it never decides a match by itself — callers
-// re-apply the join predicate (which may emit condition atoms) to every
-// candidate, so skipped rows are exactly those a nested-loop scan would have
-// dropped on a trivially-false ground equality.
+// A probe with an all-constant key enumerates its ground bucket plus, per
+// level j, only the level-j rows whose ground prefix equals the probe key's
+// prefix — a wildcard row whose ground prefix *differs* from the probe can
+// never match (that prefix column's equality is trivially false ground vs
+// ground), so pruning on the prefix is sound and keeps probes selective on
+// null-heavy tables. A probe whose key itself contains a variable
+// degenerates to the full scan (the caller detects this via `IsGroundKey`
+// and falls back). The index is a pure *candidate pruner*: it never decides
+// a match by itself — callers re-apply the join predicate (which may emit
+// condition atoms) to every candidate, so skipped rows are exactly those a
+// nested-loop scan would have dropped on a trivially-false ground equality.
 //
 // Indexes are append-only, mirroring the row storage they shadow: `Add` must
 // be called in increasing row-id order, and `Candidates` clips its result to
@@ -88,12 +95,16 @@ class TupleIndex {
   /// included — enumerate `wildcard()` too, or use `Candidates`.
   const std::vector<size_t>& Probe(const Tuple& key) const;
 
-  /// Ids of rows with a variable in an indexed position, ascending.
-  const std::vector<size_t>& wildcard() const { return wildcard_; }
+  /// Ids of rows with a variable in an indexed position, ascending —
+  /// materialized on demand from the prefix levels (probing goes through
+  /// `Candidates`, which visits only the levels whose ground prefix matches
+  /// the probe key, so no flat list is kept).
+  std::vector<size_t> wildcard() const;
 
   /// The ids a probe for `key` must visit within the row-id range [lo, hi):
-  /// the ground bucket merged with the wildcard list, ascending — exactly
-  /// the subsequence of a [lo, hi) scan that can match `key`. `key` must be
+  /// the ground bucket merged with, per wildcard level, the rows whose
+  /// ground prefix equals the probe key's prefix — ascending, exactly the
+  /// subsequence of a [lo, hi) scan that can match `key`. `key` must be
   /// ground.
   std::vector<size_t> Candidates(const Tuple& key, size_t lo,
                                  size_t hi) const;
@@ -102,7 +113,11 @@ class TupleIndex {
   std::vector<int> columns_;
   size_t num_rows_ = 0;
   std::unordered_map<Tuple, std::vector<size_t>, TupleHash> buckets_;
-  std::vector<size_t> wildcard_;
+  // levels_[j]: rows whose first variable among the indexed columns is at
+  // position j, keyed by their ground prefix (a j-term tuple). Sized lazily
+  // to the deepest level seen.
+  std::vector<std::unordered_map<Tuple, std::vector<size_t>, TupleHash>>
+      levels_;
   Tuple scratch_key_;  // reused projection buffer
 };
 
@@ -131,10 +146,19 @@ class TupleIndexCache {
 
   size_t num_indexes() const { return entries_.size(); }
 
-  /// Build-side counters (for the evaluators' stats).
+  /// Build-side counters (for the evaluators' stats). Builds and extends
+  /// are counted separately: a `Get` that appends rows to an already-built
+  /// entry is one extend, never a build — so callers diffing these around a
+  /// call can attribute the work without double-counting a mid-query
+  /// catch-up as a rebuild.
   struct Stats {
-    size_t builds = 0;         // entries built or rebuilt
-    size_t rows_indexed = 0;   // Add() calls across all entries
+    size_t builds = 0;        // entries built from scratch (first use, or
+                              // rebuilt after a stamp change)
+    size_t extends = 0;       // Get() calls that appended >= 1 row to an
+                              // existing entry
+    size_t rows_indexed = 0;  // Add() calls across all entries (a rebuild
+                              // revisits its rows, so this can exceed the
+                              // owner's row count)
   };
   const Stats& stats() const { return stats_; }
 

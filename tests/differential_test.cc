@@ -12,11 +12,14 @@
 //     shared constant context. Queries are drawn from a generator covering
 //     every operator of the fragment (select with = and !=, generalized
 //     project with constants, product, equi-join shapes that fuse into hash
-//     joins, union) at random shapes; each query runs with the hash-join
-//     fusion on AND off, which must produce *identical* tables, and the
-//     result is additionally piped through Minimized(), which must preserve
-//     the represented worlds. Single-table and multi-table (c-database)
-//     inputs are both covered.
+//     joins, union) at random shapes; each query runs with the join planner
+//     on AND off, which must produce *identical* tables, and the result is
+//     additionally piped through Minimized(), which must preserve the
+//     represented worlds. Single-table and multi-table (c-database) inputs
+//     are both covered, and a dedicated family generates n-ary join shapes
+//     (3-5-way products, mixed pushable/cross-side conjuncts, interleaved
+//     projections) cross-checked planner-on vs planner-off vs the
+//     binary-only baseline vs per-world.
 //
 //  2. Conditioned DATALOG views — the semi-naive interned fixpoint must
 //     produce c-tables identical (up to row order) to the naive strategy
@@ -122,6 +125,81 @@ RaExpr RandomPosExistential(std::mt19937& rng, int depth, int num_rels = 1) {
   }
 }
 
+/// A random n-ary join-shaped query: 3-5 relation leaves combined into a
+/// product tree of random shape (left-deep, right-deep, bushy), selections
+/// with cross-side equi-join conjuncts, pushable one-side atoms, and
+/// cross-side inequalities interleaved at random depths, projections
+/// (reordering, duplicating, dropping columns) interleaved between joins,
+/// projected back to arity 2 at the top — exactly the shapes the n-ary
+/// planner normalizes.
+RaExpr RandomNaryJoin(std::mt19937& rng, int num_rels) {
+  std::uniform_int_distribution<int> nleaves(3, 5);
+  std::uniform_int_distribution<int> coin(0, 1);
+  std::uniform_int_distribution<int> d4(0, 3);
+  std::uniform_int_distribution<int> small_const(0, 3);
+  std::uniform_int_distribution<int> rel(0, num_rels - 1);
+
+  // Leaves: plain refs, one-leaf selections, column-swapping projections.
+  std::vector<RaExpr> parts;
+  int n = nleaves(rng);
+  for (int i = 0; i < n; ++i) {
+    RaExpr leaf = RaExpr::Rel(rel(rng), 2);
+    if (d4(rng) == 0) {
+      leaf = RaExpr::Select(
+          leaf, {coin(rng)
+                     ? SelectAtom::Eq(ColOrConst::Col(coin(rng)),
+                                      ColOrConst::Const(small_const(rng)))
+                     : SelectAtom::Neq(ColOrConst::Col(coin(rng)),
+                                       ColOrConst::Const(small_const(rng)))});
+    } else if (d4(rng) == 0) {
+      leaf = RaExpr::ProjectCols(leaf, {1, 0});
+    }
+    parts.push_back(leaf);
+  }
+
+  // Merge adjacent subtrees at random until one remains: random tree shape,
+  // preserving left-to-right leaf order. Each merge is a product, usually
+  // topped with a selection carrying a cross-side equi-join conjunct (plus
+  // an occasional extra atom of any shape), occasionally topped with a
+  // projection that reorders/duplicates/drops columns.
+  while (parts.size() > 1) {
+    std::uniform_int_distribution<size_t> at(0, parts.size() - 2);
+    size_t i = at(rng);
+    RaExpr l = parts[i];
+    RaExpr r = parts[i + 1];
+    RaExpr merged = RaExpr::Product(l, r);
+    if (d4(rng) != 0) {  // usually: join the two sides
+      std::uniform_int_distribution<int> lcol(0, l.arity() - 1);
+      std::uniform_int_distribution<int> rcol(l.arity(), merged.arity() - 1);
+      std::uniform_int_distribution<int> col(0, merged.arity() - 1);
+      std::vector<SelectAtom> atoms;
+      atoms.push_back(SelectAtom::Eq(ColOrConst::Col(lcol(rng)),
+                                     ColOrConst::Col(rcol(rng))));
+      if (coin(rng)) {  // pushable one-side atom, cross inequality, or
+                        // constant test — mixed conjunct kinds
+        ColOrConst lhs = ColOrConst::Col(col(rng));
+        ColOrConst rhs = coin(rng) ? ColOrConst::Col(col(rng))
+                                   : ColOrConst::Const(small_const(rng));
+        atoms.push_back(coin(rng) ? SelectAtom::Eq(lhs, rhs)
+                                  : SelectAtom::Neq(lhs, rhs));
+      }
+      merged = RaExpr::Select(merged, std::move(atoms));
+    }
+    if (d4(rng) == 0 && merged.arity() > 2) {  // interleaved projection
+      std::uniform_int_distribution<int> col(0, merged.arity() - 1);
+      std::uniform_int_distribution<int> width(2, merged.arity() - 1);
+      std::vector<int> cols;
+      int w = width(rng);
+      for (int c = 0; c < w; ++c) cols.push_back(col(rng));
+      merged = RaExpr::ProjectCols(merged, cols);
+    }
+    parts[i] = merged;
+    parts.erase(parts.begin() + static_cast<ptrdiff_t>(i) + 1);
+  }
+  std::uniform_int_distribution<int> col(0, parts[0].arity() - 1);
+  return RaExpr::ProjectCols(parts[0], {col(rng), col(rng)});
+}
+
 /// Shared constant context: everything either side could mention.
 std::vector<ConstId> SharedContext(const CDatabase& db, const CTable& image) {
   std::vector<ConstId> extra = image.Constants();
@@ -194,6 +272,78 @@ TEST_P(DifferentialTest, CTableEvalAgreesWithPerWorldEval) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest, ::testing::Range(0, 25));
+
+// N-ary join shapes: 3-5-way products with mixed pushable/cross-side
+// conjuncts and interleaved projections, cross-checked planner-on vs
+// planner-off vs the binary-only baseline vs per-world evaluation.
+class NaryJoinDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NaryJoinDifferentialTest, PlannedJoinAgreesWithNestedLoopAndWorlds) {
+  std::mt19937 rng(6000 + GetParam());
+  for (int round = 0; round < 3; ++round) {
+    RandomCTableOptions options = testutil::SmallCTableOptions(
+        /*arity=*/2, /*num_rows=*/2, /*num_constants=*/2, /*num_variables=*/2,
+        /*num_local_atoms=*/GetParam() % 2,
+        /*num_global_atoms=*/GetParam() % 2);
+    CTable t0 = RandomCTable(options, rng);
+    CTable t1 = RandomCTable(options, rng);
+    CDatabase db(std::vector<CTable>{t0, t1});
+    RaExpr q = RandomNaryJoin(rng, /*num_rels=*/2);
+
+    CTableEvalOptions planned;  // default: n-ary planner, interned
+    CTableEvalStats stats;
+    planned.stats = &stats;
+    CTableEvalOptions nested = planned;
+    nested.use_hash_join = false;
+    nested.stats = nullptr;
+    CTableEvalOptions binary = planned;
+    binary.binary_join_only = true;
+    binary.stats = nullptr;
+    CTableEvalOptions plain_planned;
+    plain_planned.use_interner = false;
+    CTableEvalOptions plain_nested = plain_planned;
+    plain_nested.use_hash_join = false;
+
+    auto fast = EvalQueryOnCTables({q}, db, planned);
+    auto fast_nl = EvalQueryOnCTables({q}, db, nested);
+    auto fast_bin = EvalQueryOnCTables({q}, db, binary);
+    auto seed = EvalQueryOnCTables({q}, db, plain_planned);
+    auto seed_nl = EvalQueryOnCTables({q}, db, plain_nested);
+    ASSERT_TRUE(fast.has_value() && fast_nl.has_value() &&
+                fast_bin.has_value());
+    ASSERT_TRUE(seed.has_value() && seed_nl.has_value());
+
+    // The planned n-way join must be output-*identical* to the nested
+    // loops, on both paths — not merely equivalent up to rep() — and so
+    // must the binary-only baseline.
+    EXPECT_EQ(fast->table(0), fast_nl->table(0))
+        << "planned join diverged from nested loop (interned) on "
+        << q.ToString() << "\n"
+        << db.ToString();
+    EXPECT_EQ(fast_bin->table(0), fast_nl->table(0))
+        << "binary-only fusion diverged from nested loop on " << q.ToString()
+        << "\n"
+        << db.ToString();
+    EXPECT_EQ(seed->table(0), seed_nl->table(0))
+        << "planned join diverged from nested loop (plain) on "
+        << q.ToString() << "\n"
+        << db.ToString();
+
+    std::vector<ConstId> extra = SharedContext(db, fast->table(0));
+    for (ConstId c : seed->table(0).Constants()) extra.push_back(c);
+    std::vector<std::string> oracle =
+        testutil::CanonicalImageWorlds({q}, db, extra);
+    EXPECT_EQ(testutil::CanonicalWorlds(*fast, extra), oracle)
+        << "interned planned path diverged on " << q.ToString() << "\n"
+        << db.ToString();
+    EXPECT_EQ(testutil::CanonicalWorlds(*seed, extra), oracle)
+        << "plain planned path diverged on " << q.ToString() << "\n"
+        << db.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NaryJoinDifferentialTest,
+                         ::testing::Range(0, 20));
 
 // Multi-table inputs: queries draw from (and join across) two member
 // c-tables whose shared variables link the tables like equality conditions;

@@ -157,6 +157,122 @@ TEST(IlAlgebraTest, HashJoinPushesSelectionsIntoSides) {
   EXPECT_EQ(*out, *reference);
 }
 
+// --- N-ary planned joins --------------------------------------------------
+
+/// Three joinable tables for chain joins a.1 = b.0, b.1 = c.0.
+CDatabase ThreeChainTables() {
+  CTable a(2);
+  a.AddRow(Tuple{C(1), C(2)});
+  a.AddRow(Tuple{C(2), C(3)});
+  a.AddRow(Tuple{C(3), V(0)}, Conjunction{Neq(V(0), C(1))});
+  CTable b(2);
+  b.AddRow(Tuple{C(2), C(4)});
+  b.AddRow(Tuple{V(1), C(5)});
+  b.AddRow(Tuple{C(3), C(4)});
+  CTable c(2);
+  c.AddRow(Tuple{C(4), C(8)});
+  c.AddRow(Tuple{C(5), V(2)});
+  return CDatabase(std::vector<CTable>{a, b, c});
+}
+
+TEST(IlAlgebraTest, TernaryJoinPlansAllLeavesAndMatchesNestedLoop) {
+  // select over product(product(a, b), c) — the shape the binary fusion
+  // never fused. The planner must fuse all three leaves; the output must be
+  // identical to the nested loops on both paths, and to the binary-only
+  // baseline.
+  CDatabase db = ThreeChainTables();
+  RaExpr prod = RaExpr::Product(
+      RaExpr::Product(RaExpr::Rel(0, 2), RaExpr::Rel(1, 2)),
+      RaExpr::Rel(2, 2));
+  RaExpr q = RaExpr::Select(
+      prod, {SelectAtom::Eq(ColOrConst::Col(1), ColOrConst::Col(2)),
+             SelectAtom::Eq(ColOrConst::Col(3), ColOrConst::Col(4))});
+  for (bool use_interner : {true, false}) {
+    CTableEvalOptions planned;
+    planned.use_interner = use_interner;
+    CTableEvalStats stats;
+    planned.stats = &stats;
+    CTableEvalOptions nested = planned;
+    nested.use_hash_join = false;
+    nested.stats = nullptr;
+    CTableEvalOptions binary = planned;
+    binary.binary_join_only = true;
+    binary.stats = nullptr;
+    auto p = EvalOnCTables(q, db, planned);
+    auto n = EvalOnCTables(q, db, nested);
+    auto b = EvalOnCTables(q, db, binary);
+    ASSERT_TRUE(p.has_value() && n.has_value() && b.has_value());
+    EXPECT_EQ(*p, *n) << (use_interner ? "interned" : "plain");
+    EXPECT_EQ(*b, *n) << (use_interner ? "interned" : "plain");
+    EXPECT_GT(p->num_rows(), 0u);
+    // Plan shape: one 3-leaf plan, two keyed join steps, no nested loop.
+    EXPECT_EQ(stats.planned_joins, 1u);
+    EXPECT_EQ(stats.planned_join_leaves, 3u);
+    EXPECT_EQ(stats.hash_joins, 2u);
+    EXPECT_EQ(stats.nested_loop_products, 0u);
+  }
+}
+
+TEST(IlAlgebraTest, NestedSelectionsAndProjectionPrefixesFuse) {
+  // select(select(product)) and select above a projection of a product —
+  // both silently fell back to nested loops before the planner; now they
+  // must fuse and stay output-identical.
+  CDatabase db = JoinableTables();
+  RaExpr join_then_filter = RaExpr::Select(
+      RaExpr::Select(RaExpr::Product(RaExpr::Rel(0, 2), RaExpr::Rel(1, 2)),
+                     {SelectAtom::Eq(ColOrConst::Col(1), ColOrConst::Col(2))}),
+      {SelectAtom::Neq(ColOrConst::Col(0), ColOrConst::Const(2))});
+  RaExpr over_projection = RaExpr::Select(
+      RaExpr::ProjectCols(
+          RaExpr::Product(RaExpr::Rel(0, 2), RaExpr::Rel(1, 2)), {3, 0, 2}),
+      {SelectAtom::Eq(ColOrConst::Col(1), ColOrConst::Col(2))});
+  for (const RaExpr& q : {join_then_filter, over_projection}) {
+    for (bool use_interner : {true, false}) {
+      CTableEvalOptions planned;
+      planned.use_interner = use_interner;
+      CTableEvalStats stats;
+      planned.stats = &stats;
+      CTableEvalOptions nested = planned;
+      nested.use_hash_join = false;
+      nested.stats = nullptr;
+      auto p = EvalOnCTables(q, db, planned);
+      auto n = EvalOnCTables(q, db, nested);
+      ASSERT_TRUE(p.has_value() && n.has_value());
+      EXPECT_EQ(*p, *n) << q.ToString();
+      EXPECT_EQ(stats.planned_joins, 1u) << q.ToString();
+      EXPECT_EQ(stats.nested_loop_products, 0u) << q.ToString();
+    }
+  }
+}
+
+TEST(IlAlgebraTest, PlannerSinksProjectionsAndCountsPushdown) {
+  // Projecting the chain join down to its first column leaves the last leaf
+  // column unneeded (not an output, not in a conjunct): the plan sinks it.
+  CDatabase db = ThreeChainTables();
+  RaExpr prod = RaExpr::Product(
+      RaExpr::Product(RaExpr::Rel(0, 2), RaExpr::Rel(1, 2)),
+      RaExpr::Rel(2, 2));
+  RaExpr sel = RaExpr::Select(
+      prod, {SelectAtom::Eq(ColOrConst::Col(1), ColOrConst::Col(2)),
+             SelectAtom::Eq(ColOrConst::Col(3), ColOrConst::Col(4)),
+             SelectAtom::Eq(ColOrConst::Col(0), ColOrConst::Const(1))});
+  RaExpr q = RaExpr::ProjectCols(sel, {0});
+  CTableEvalStats stats;
+  CTableEvalOptions planned;
+  planned.stats = &stats;
+  auto p = EvalOnCTables(q, db, planned);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(stats.planned_joins, 1u);
+  EXPECT_EQ(stats.conjuncts_pushed, 1u);   // the a.0 = 1 filter
+  EXPECT_EQ(stats.projections_sunk, 1u);   // column 5 (c.1) never needed
+  EXPECT_GE(stats.pushdown_dropped_rows, 2u);  // a rows (2,3) and (3,x0)
+  CTableEvalOptions nested;
+  nested.use_hash_join = false;
+  auto n = EvalOnCTables(q, db, nested);
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(*p, *n);
+}
+
 // --- Interned-id seeding through the operators ----------------------------
 
 TEST(IlAlgebraTest, InternedEvalSeedsOutputIdCaches) {

@@ -51,6 +51,59 @@ TEST(TupleIndexTest, CandidatesClipToRangeAscending) {
   EXPECT_EQ(index.Candidates(Tuple{C(8)}, 1, 4), (std::vector<size_t>{1, 3}));
 }
 
+TEST(TupleIndexTest, PrefixGroundRowsPruneOnTheirPrefix) {
+  // Per-column wildcard granularity: a row ground on a prefix of the
+  // indexed columns is filed under that prefix, so probes whose key prefix
+  // differs never revisit it — only prefix-matching rows and rows with no
+  // ground prefix stay candidates of every compatible probe.
+  TupleIndex index({0, 1});
+  index.Add(Tuple{C(1), C(2)}, 0);  // fully ground
+  index.Add(Tuple{C(1), V(0)}, 1);  // ground prefix (1)
+  index.Add(Tuple{C(2), V(1)}, 2);  // ground prefix (2)
+  index.Add(Tuple{V(2), C(5)}, 3);  // no ground prefix
+  EXPECT_EQ(index.wildcard(), (std::vector<size_t>{1, 2, 3}));
+  EXPECT_EQ(index.Candidates(Tuple{C(1), C(2)}, 0, 4),
+            (std::vector<size_t>{0, 1, 3}));
+  EXPECT_EQ(index.Candidates(Tuple{C(1), C(9)}, 0, 4),
+            (std::vector<size_t>{1, 3}));
+  EXPECT_EQ(index.Candidates(Tuple{C(2), C(9)}, 0, 4),
+            (std::vector<size_t>{2, 3}));
+  EXPECT_EQ(index.Candidates(Tuple{C(3), C(9)}, 0, 4),
+            (std::vector<size_t>{3}));
+}
+
+TEST(TupleIndexTest, PrefixGranularityStopsAtFirstVariable) {
+  // Only the prefix before the first variable prunes: a ground column
+  // *after* a variable cannot (the variable may take any value, and rows
+  // are filed by their first variable position).
+  TupleIndex index({0, 1, 2});
+  index.Add(Tuple{C(1), V(0), C(2)}, 0);  // level 1, prefix (1)
+  index.Add(Tuple{C(1), V(0), C(3)}, 1);  // level 1, prefix (1)
+  EXPECT_EQ(index.Candidates(Tuple{C(1), C(7), C(2)}, 0, 2),
+            (std::vector<size_t>{0, 1}));
+  EXPECT_TRUE(index.Candidates(Tuple{C(2), C(7), C(2)}, 0, 2).empty());
+}
+
+TEST(TupleIndexTest, PrefixCandidatesClipToRangeAscending) {
+  TupleIndex index({0, 1});
+  for (size_t i = 0; i < 8; ++i) {
+    // Cycle: ground on (7, 1), prefix-ground on (7), prefix-ground on (8),
+    // prefix-less wildcard.
+    switch (i % 4) {
+      case 0: index.Add(Tuple{C(7), C(1)}, i); break;
+      case 1: index.Add(Tuple{C(7), V(0)}, i); break;
+      case 2: index.Add(Tuple{C(8), V(0)}, i); break;
+      default: index.Add(Tuple{V(1), C(1)}, i); break;
+    }
+  }
+  EXPECT_EQ(index.Candidates(Tuple{C(7), C(1)}, 0, 8),
+            (std::vector<size_t>{0, 1, 3, 4, 5, 7}));
+  EXPECT_EQ(index.Candidates(Tuple{C(7), C(1)}, 2, 6),
+            (std::vector<size_t>{3, 4, 5}));
+  EXPECT_EQ(index.Candidates(Tuple{C(8), C(9)}, 0, 8),
+            (std::vector<size_t>{2, 3, 6, 7}));
+}
+
 TEST(TupleIndexTest, MultiColumnKeys) {
   TupleIndex index({0, 2});
   index.Add(Tuple{C(1), C(9), C(2)}, 0);
@@ -81,18 +134,27 @@ TEST(TupleIndexCacheTest, BuildsLazilyAndExtendsOnAppend) {
   EXPECT_EQ(cache.stats().builds, 1u);
   EXPECT_EQ(cache.stats().rows_indexed, 2u);
 
-  // Appended rows extend the same index in place, no rebuild.
+  // Appended rows extend the same index in place — counted as an extend,
+  // never as a (re)build, so build counters cannot double-count a mid-query
+  // catch-up.
   rows.push_back(Tuple{C(1), C(4)});
   const TupleIndex& extended = cache.Get({0}, rows.size(), 1, tuple_of);
   EXPECT_EQ(&extended, &index);
   EXPECT_EQ(cache.stats().builds, 1u);
+  EXPECT_EQ(cache.stats().extends, 1u);
   EXPECT_EQ(extended.num_rows_indexed(), 3u);
   EXPECT_EQ(extended.Probe(Tuple{C(1)}), (std::vector<size_t>{0, 1, 2}));
 
-  // A second column subset is a second index.
+  // A no-op Get (nothing appended) is neither a build nor an extend.
+  cache.Get({0}, rows.size(), 1, tuple_of);
+  EXPECT_EQ(cache.stats().builds, 1u);
+  EXPECT_EQ(cache.stats().extends, 1u);
+
+  // A second column subset is a second index (a build, not an extend).
   cache.Get({1}, rows.size(), 1, tuple_of);
   EXPECT_EQ(cache.num_indexes(), 2u);
   EXPECT_EQ(cache.stats().builds, 2u);
+  EXPECT_EQ(cache.stats().extends, 1u);
 }
 
 TEST(TupleIndexCacheTest, StampChangeRebuilds) {
@@ -102,10 +164,12 @@ TEST(TupleIndexCacheTest, StampChangeRebuilds) {
   TupleIndexCache cache;
   cache.Get({0}, rows.size(), /*stamp=*/1, tuple_of);
   // The owner replaced its rows wholesale and bumped its stamp: the stale
-  // index must be rebuilt, not extended.
+  // index must be rebuilt, not extended — and the rebuild is one build,
+  // not a build plus an extend for the re-indexed rows.
   rows = {Tuple{C(9)}};
   const TupleIndex& rebuilt = cache.Get({0}, rows.size(), 2, tuple_of);
   EXPECT_EQ(cache.stats().builds, 2u);
+  EXPECT_EQ(cache.stats().extends, 0u);
   EXPECT_EQ(rebuilt.num_rows_indexed(), 1u);
   EXPECT_EQ(rebuilt.Probe(Tuple{C(9)}), (std::vector<size_t>{0}));
   EXPECT_TRUE(rebuilt.Probe(Tuple{C(1)}).empty());
@@ -128,13 +192,20 @@ TEST(CTableIndexTest, BuiltOnceAndReusedAcrossQueries) {
 TEST(CTableIndexTest, AppendExtendsInPlace) {
   CTable t = testutil::MakeTable(2, std::vector<Tuple>{{C(1), C(2)}});
   bool built = false;
-  t.Index({0}, &built);
+  bool extended = false;
+  t.Index({0}, &built, &extended);
   EXPECT_TRUE(built);
+  EXPECT_FALSE(extended);  // a fresh build is not also an extend
   t.AddRow(Tuple{C(1), C(9)});
-  const TupleIndex& index = t.Index({0}, &built);
+  const TupleIndex& index = t.Index({0}, &built, &extended);
   EXPECT_FALSE(built);  // caught up incrementally, not rebuilt
+  EXPECT_TRUE(extended);
   EXPECT_EQ(index.num_rows_indexed(), 2u);
   EXPECT_EQ(index.Probe(Tuple{C(1)}), (std::vector<size_t>{0, 1}));
+  // Asking again with nothing appended reports neither.
+  t.Index({0}, &built, &extended);
+  EXPECT_FALSE(built);
+  EXPECT_FALSE(extended);
 }
 
 TEST(CTableIndexTest, CopiesRebuildTheirOwnIndexes) {

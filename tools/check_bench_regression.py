@@ -4,10 +4,12 @@
 Reads google-benchmark JSON files (--benchmark_out_format=json) and pairs
 each fast-path benchmark with its seed-path twin by name:
 
-    *_SemiNaive/N      vs  *_Naive/N        (conditioned Datalog fixpoint)
-    *_InternedPath/N   vs  *_SeedPath/N     (Imielinski-Lipski image)
-    *_HashJoin/N       vs  *_NestedLoop/N   (RA select-over-product fusion)
-    *_IndexedJoin/N    vs  *_ScanJoin/N     (indexed body-atom matching)
+    *_SemiNaive/N      vs  *_Naive/N         (conditioned Datalog fixpoint)
+    *_InternedPath/N   vs  *_SeedPath/N      (Imielinski-Lipski image)
+    *_HashJoin/N       vs  *_NestedLoop/N    (RA select-over-product fusion)
+    *_IndexedJoin/N    vs  *_ScanJoin/N      (indexed body-atom matching)
+    *_PlannedJoin/N    vs  *_BinaryFusion/N  (n-ary join planner vs the
+                                              binary-only fusion baseline)
 
 Exits nonzero when any fast path takes more than --max-ratio times its seed
 pair (default 2.0, the CI regression budget), or when no pair was found at
@@ -19,7 +21,8 @@ import json
 import sys
 
 PAIRS = [("SemiNaive", "Naive"), ("InternedPath", "SeedPath"),
-         ("HashJoin", "NestedLoop"), ("IndexedJoin", "ScanJoin")]
+         ("HashJoin", "NestedLoop"), ("IndexedJoin", "ScanJoin"),
+         ("PlannedJoin", "BinaryFusion")]
 
 
 def load_times(paths):
