@@ -13,8 +13,13 @@
 // regresses past 2x its seed pair (tools/check_bench_regression.py). The
 // SharedNullChain workload repeats the same few conditions across rows,
 // which is where interning (memoized And, duplicate ids) pays off most.
+// The *_Magic / *_FullFixpoint pair measures query-directed evaluation: a
+// selective point query answered through the magic-set rewrite against the
+// full fixpoint restricted afterwards.
 
 #include <benchmark/benchmark.h>
+
+#include <optional>
 
 #include "bench_util.h"
 #include "datalog/eval.h"
@@ -151,6 +156,49 @@ void BM_ConditionedTC_SharedNullChain_ScanJoin(benchmark::State& state) {
 }
 BENCHMARK(BM_ConditionedTC_SharedNullChain_ScanJoin)
     ->DenseRange(8, 24, 8)
+    ->Unit(benchmark::kMicrosecond);
+
+// Demand-driven (magic-set) point query: who does node 0 reach? The full
+// fixpoint derives all O(n^2) transitive-closure facts before restricting to
+// the goal; the magic-set rewrite (DatalogQueryOnCTables, use_magic) derives
+// only the O(n) demand-reachable ones. Paired as *_Magic / *_FullFixpoint
+// for the CI gate — the magic path must stay well under the 2x budget (it is
+// expected to be >= 10x faster at the largest smoke size).
+void RunPointQuery(benchmark::State& state, bool use_magic,
+                   const char* label) {
+  CDatabase db = NullChain(static_cast<int>(state.range(0)), /*gap=*/0);
+  DatalogProgram tc = TransitiveClosure();
+  std::vector<std::optional<ConstId>> bindings{ConstId{0}, std::nullopt};
+  DatalogCTableOptions options;
+  options.use_magic = use_magic;
+  ConditionedFixpointStats stats;
+  for (auto _ : state) {
+    CTable out = DatalogQueryOnCTables(tc, db, /*goal=*/1, bindings, &stats,
+                                       options);
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["rows"] = static_cast<double>(stats.derived_rows);
+  state.counters["rounds"] = static_cast<double>(stats.rounds);
+  state.counters["magic_facts"] = static_cast<double>(stats.magic_facts);
+  state.counters["rules_adorned"] = static_cast<double>(stats.rules_adorned);
+  state.counters["demand_pruned"] = static_cast<double>(stats.demand_pruned);
+  state.SetLabel(label);
+}
+
+void BM_ConditionedTC_PointQuery_Magic(benchmark::State& state) {
+  RunPointQuery(state, /*use_magic=*/true,
+                "tc(0, ?) on a ground chain, magic-set demand evaluation");
+}
+BENCHMARK(BM_ConditionedTC_PointQuery_Magic)
+    ->DenseRange(64, 256, 64)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ConditionedTC_PointQuery_FullFixpoint(benchmark::State& state) {
+  RunPointQuery(state, /*use_magic=*/false,
+                "tc(0, ?) on a ground chain, full fixpoint then restrict");
+}
+BENCHMARK(BM_ConditionedTC_PointQuery_FullFixpoint)
+    ->DenseRange(64, 256, 64)
     ->Unit(benchmark::kMicrosecond);
 
 // One shared null across every gap: the same handful of conditions recurs in

@@ -1,10 +1,14 @@
 #include "decision/possibility.h"
 
+#include <functional>
+#include <map>
 #include <set>
 
 #include "condition/binding_env.h"
 #include "condition/interner.h"
+#include "datalog/magic.h"
 #include "ilalgebra/ctable_eval.h"
+#include "ilalgebra/datalog_ctable.h"
 #include "ra/properties.h"
 #include "solvers/bipartite_matching.h"
 #include "tables/world_enum.h"
@@ -97,6 +101,81 @@ std::optional<bool> PossUnboundedCoddTables(const CDatabase& database,
   return true;
 }
 
+std::optional<bool> PossDatalogDemand(const View& view,
+                                      const CDatabase& database,
+                                      const std::vector<LocatedFact>& pattern) {
+  if (!view.is_datalog()) return std::nullopt;
+  ConditionInterner& interner = ConditionInterner::Global();
+  ConjId global_id = database.CombinedGlobalId(interner);
+  if (!interner.Satisfiable(global_id)) return false;  // rep empty
+
+  const DatalogProgram& program = view.datalog();
+  // One demand query per pattern fact: all positions bound, so each
+  // restricted row's condition says exactly when the fact is in the view.
+  // Conditioned fixpoints can grow exponentially even under demand (the
+  // paper's lower bounds), so each query runs under a derivation budget;
+  // exhaustion returns nullopt and the dispatcher falls back to the
+  // per-world search.
+  size_t edb_rows = 0;
+  for (size_t k = 0; k < database.num_tables(); ++k) {
+    edb_rows += database.table(k).num_rows();
+  }
+  DatalogCTableOptions options;
+  options.max_derived_rows = 1024 + 16 * edb_rows;
+  std::vector<std::vector<ConjId>> alternatives;
+  // Static gate, cached per goal predicate (the adornment structure depends
+  // only on the all-bound binding pattern, not on the pattern constants):
+  // if some demanded predicate ends up with an all-free binding pattern,
+  // demand for it degenerates to the full fixpoint (the SAT gadget's shape
+  // — its recursive body atoms receive no bindings), so the demand path
+  // buys nothing and the search is the better bet. DemandStaysBound runs
+  // only the adornment discovery, not the full rewrite.
+  std::map<int, bool> gate_by_goal;
+  // Repeated (goal, fact) pairs reuse the first query's condition list
+  // instead of re-running the demand fixpoint.
+  std::map<std::pair<int, Fact>, std::vector<ConjId>> conds_by_fact;
+  for (const LocatedFact& lf : pattern) {
+    if (lf.relation >= view.output_preds().size()) return false;
+    int goal = view.output_preds()[lf.relation];
+    if (static_cast<size_t>(program.arity(goal)) != lf.fact.size()) {
+      return false;
+    }
+    std::vector<std::optional<ConstId>> bindings(lf.fact.begin(),
+                                                 lf.fact.end());
+    auto [gate, inserted] = gate_by_goal.try_emplace(goal, true);
+    if (inserted) {
+      gate->second = DemandStaysBound(program, {goal, bindings});
+    }
+    if (!gate->second) return std::nullopt;
+    auto [cached, fresh] = conds_by_fact.try_emplace({goal, lf.fact});
+    if (fresh) {
+      ConditionedFixpointStats stats;
+      CTable restricted =
+          DatalogQueryOnCTables(program, database, goal, bindings, &stats,
+                                options);
+      if (stats.budget_exhausted) return std::nullopt;
+      for (const CRow& row : restricted.rows()) {
+        cached->second.push_back(row.LocalId(interner));
+      }
+    }
+    alternatives.push_back(cached->second);
+    if (alternatives.back().empty()) {
+      return false;  // this fact is in no world's view
+    }
+  }
+  // Backtracking over one condition per fact; the partial conjunction is an
+  // interned id, so dead prefixes are cut on an O(1) satisfiability check.
+  std::function<bool(size_t, ConjId)> go = [&](size_t i, ConjId acc) {
+    if (i == alternatives.size()) return true;
+    for (ConjId cond : alternatives[i]) {
+      ConjId next = interner.And(acc, cond);
+      if (interner.Satisfiable(next) && go(i + 1, next)) return true;
+    }
+    return false;
+  };
+  return go(0, global_id);
+}
+
 std::optional<bool> PossBoundedPosExistential(
     const RaQuery& query, const CDatabase& database,
     const std::vector<LocatedFact>& pattern) {
@@ -138,6 +217,12 @@ bool Possibility(const View& view, const CDatabase& database,
     if (auto fast = PossBoundedPosExistential(view.ra(), database, pattern)) {
       return *fast;
     }
+  } else if (view.is_datalog()) {
+    // Goal-shaped: each pattern fact is a fully bound goal, answered through
+    // the magic-set demand path instead of enumerating worlds.
+    if (auto fast = PossDatalogDemand(view, database, pattern)) {
+      return *fast;
+    }
   }
   return PossibilitySearch(view, database, pattern);
 }
@@ -148,12 +233,10 @@ bool PossibilityUnbounded(const View& view, const CDatabase& database,
     if (auto fast = PossUnboundedCoddTables(database, pattern)) return *fast;
   }
   std::vector<LocatedFact> flat = ToLocatedFacts(pattern);
-  if (view.is_identity() || view.is_ra()) {
-    // The c-table assignment search is exact for any pattern size (it is
-    // polynomial only for bounded patterns, but correct for all).
-    return Possibility(view, database, flat);
-  }
-  return PossibilitySearch(view, database, flat);
+  // The c-table assignment search (identity/RA) and the DATALOG demand path
+  // are exact for any pattern size (polynomial only for bounded patterns,
+  // but correct for all), so the bounded dispatcher covers this too.
+  return Possibility(view, database, flat);
 }
 
 }  // namespace pw

@@ -41,6 +41,24 @@ std::optional<bool> PossBoundedPosExistential(
     const RaQuery& query, const CDatabase& database,
     const std::vector<LocatedFact>& pattern);
 
+/// Demand-path possibility for DATALOG views: every pattern fact is a fully
+/// bound goal atom, answered through the magic-set rewrite
+/// (DatalogQueryOnCTables) — only demand-reachable conditioned facts are
+/// derived, not the whole fixpoint. Each restricted row records the exact
+/// condition under which its fact is in the view of a world, so the pattern
+/// is possible iff some choice of one row per fact is satisfiable together
+/// with the combined global condition (an interner query per combination).
+/// Exact over the infinite domain. Returns std::nullopt if the view is not
+/// a DATALOG query, if the rewrite leaves some demanded predicate with an
+/// all-free binding pattern (demand then degenerates to the full fixpoint —
+/// the SAT-gadget shape), or if the demand evaluation exhausts its
+/// derivation budget (conditioned fixpoints can grow exponentially — the
+/// paper's lower bounds). In every nullopt case the dispatcher falls back
+/// to the per-world search.
+std::optional<bool> PossDatalogDemand(const View& view,
+                                      const CDatabase& database,
+                                      const std::vector<LocatedFact>& pattern);
+
 /// Exact possibility for arbitrary views, by enumerating satisfying
 /// valuations and testing P subseteq view(world). NP in general.
 bool PossibilitySearch(const View& view, const CDatabase& database,

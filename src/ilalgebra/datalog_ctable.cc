@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "datalog/magic.h"
 #include "ilalgebra/join_plan.h"
 #include "tables/tuple_index.h"
 
@@ -47,8 +48,32 @@ struct EvalState {
   ConditionInterner* interner = nullptr;
   ConjId global_id = ConditionInterner::kTrueConj;
   bool use_index = true;
+  // Predicates at or past this id are magic (demand) predicates of a
+  // magic-rewritten program; their rows are attributed to the demand
+  // counters. -1: none.
+  int magic_begin = -1;
+  // Row-derivation budget; 0 = unlimited. When it trips, `aborted` stops
+  // every loop and the stats record the exhaustion. Work units (row visits
+  // in the join loops, subsumption-bucket scans) are metered against
+  // 64 * max_derived_rows so that evaluation also stops when the join or
+  // subsumption work explodes without accumulating kept rows.
+  size_t max_derived_rows = 0;
+  size_t work = 0;
+  bool aborted = false;
+
+  void ChargeWork(size_t units) {
+    work += units;
+    if (max_derived_rows != 0 && work >= 64 * max_derived_rows) {
+      aborted = true;
+      stats.budget_exhausted = true;
+    }
+  }
   std::vector<PredState> preds;
   ConditionedFixpointStats stats;
+
+  bool IsMagicPred(int pred) const {
+    return magic_begin >= 0 && pred >= magic_begin;
+  }
 };
 
 /// Inserts a derived row unless a duplicate (same tuple, same condition id)
@@ -62,11 +87,15 @@ bool Insert(EvalState& state, int pred, Tuple tuple, ConjId cond) {
   ConditionInterner& interner = *state.interner;
   if (!interner.Satisfiable(interner.And(state.global_id, cond))) {
     ++state.stats.unsatisfiable_rows;
+    // Unsatisfiable *demand* dies here, before any guarded rule body could
+    // fire against it.
+    if (state.IsMagicPred(pred)) ++state.stats.demand_pruned;
     return false;
   }
   PredState& ps = state.preds[pred];
   auto [it, inserted] = ps.by_tuple.try_emplace(std::move(tuple));
   std::vector<size_t>& bucket = it->second;
+  state.ChargeWork(1 + bucket.size());
   if (!inserted) {
     for (size_t idx : bucket) {
       if (ps.rows[idx].cond == cond) {
@@ -93,6 +122,12 @@ bool Insert(EvalState& state, int pred, Tuple tuple, ConjId cond) {
   bucket.push_back(ps.rows.size());
   ps.rows.push_back(IRow{&it->first, cond, true});
   ++state.stats.derived_rows;
+  if (state.IsMagicPred(pred)) ++state.stats.magic_facts;
+  if (state.max_derived_rows != 0 &&
+      state.stats.derived_rows >= state.max_derived_rows) {
+    state.aborted = true;
+    state.stats.budget_exhausted = true;
+  }
   return true;
 }
 
@@ -154,9 +189,13 @@ const TupleIndex& IndexFor(EvalState& state, int pred,
 bool FireRule(EvalState& state, const DatalogRule& rule, int delta_pos) {
   ConditionInterner& interner = *state.interner;
   bool added = false;
+  // Branches cut while deriving a magic (demand) predicate are demand that
+  // can never hold — counted separately as demand_pruned.
+  const bool magic_head = state.IsMagicPred(rule.head.predicate);
   std::map<VarId, Term> binding;
 
   std::function<void(size_t, ConjId)> go = [&](size_t pos, ConjId acc) {
+    if (state.aborted) return;
     if (pos == rule.body.size()) {
       Tuple head;
       head.reserve(rule.head.args.size());
@@ -201,8 +240,9 @@ bool FireRule(EvalState& state, const DatalogRule& rule, int delta_pos) {
     }
     // Index-based: Insert may append to (and reallocate) any row vector.
     size_t count = keyed ? candidates.size() : hi - lo;
-    for (size_t k = 0; k < count; ++k) {
+    for (size_t k = 0; k < count && !state.aborted; ++k) {
       size_t idx = keyed ? candidates[k] : lo + k;
+      state.ChargeWork(1);
       if (!ps.rows[idx].alive) continue;
       ConjId row_cond = ps.rows[idx].cond;
       auto saved_binding = binding;
@@ -213,6 +253,7 @@ bool FireRule(EvalState& state, const DatalogRule& rule, int delta_pos) {
         if (!interner.Satisfiable(
                 interner.And(state.global_id, next))) {
           ++state.stats.pruned_branches;  // never-on prefix: cut the subtree
+          if (magic_head) ++state.stats.demand_pruned;
         } else {
           go(pos + 1, next);
         }
@@ -247,6 +288,8 @@ CDatabase DatalogOnCTables(const DatalogProgram& program,
   state.interner = &interner;
   state.global_id = database.CombinedGlobalId(interner);
   state.use_index = options.use_index;
+  state.magic_begin = options.magic_pred_begin;
+  state.max_derived_rows = options.max_derived_rows;
   state.preds.resize(program.num_predicates());
   size_t interner_size_before = interner.num_conjunctions();
 
@@ -255,23 +298,26 @@ CDatabase DatalogOnCTables(const DatalogProgram& program,
   for (size_t p = 0; p < program.num_edb() && p < database.num_tables();
        ++p) {
     for (const CRow& row : database.table(p).rows()) {
+      if (state.aborted) break;
       Insert(state, static_cast<int>(p), row.tuple, row.LocalId(interner));
     }
   }
   // Empty-body rules are ground facts: fire them once, into the first delta
   // (the semi-naive loop only enumerates rules through their body atoms).
   for (const DatalogRule& rule : program.rules()) {
+    if (state.aborted) break;
     if (rule.body.empty()) FireRule(state, rule, /*delta_pos=*/-1);
   }
   AdvanceDeltas(state);
 
   if (options.semi_naive) {
     bool changed = true;
-    while (changed) {
+    while (changed && !state.aborted) {
       changed = false;
       ++state.stats.rounds;
       for (const DatalogRule& rule : program.rules()) {
-        for (size_t pos = 0; pos < rule.body.size(); ++pos) {
+        for (size_t pos = 0; pos < rule.body.size() && !state.aborted;
+             ++pos) {
           const PredState& ps = state.preds[rule.body[pos].predicate];
           if (ps.delta_begin == ps.delta_end) continue;
           changed |= FireRule(state, rule, static_cast<int>(pos));
@@ -281,10 +327,11 @@ CDatabase DatalogOnCTables(const DatalogProgram& program,
     }
   } else {
     bool changed = true;
-    while (changed) {
+    while (changed && !state.aborted) {
       changed = false;
       ++state.stats.rounds;
       for (const DatalogRule& rule : program.rules()) {
+        if (state.aborted) break;
         changed |= FireRule(state, rule, /*delta_pos=*/-1);
       }
     }
@@ -311,6 +358,138 @@ CDatabase DatalogOnCTables(const DatalogProgram& program,
     *stats = state.stats;
   }
   return out;
+}
+
+namespace {
+
+struct RestrictedRow {
+  Tuple tuple;
+  ConjId cond;
+  bool alive = true;
+};
+
+/// True iff row (a_tuple, a_cond) *covers* row (b_tuple, b_cond): in every
+/// world satisfying b's condition, a is present too and denotes the same
+/// fact — b's condition implies a's, and forces each pair of differing
+/// tuple positions equal. This generalizes the fixpoint's same-tuple
+/// subsumption across tuples: the magic path derives instances whose tuples
+/// carry demand values (e.g. (x,x) under x = 0) where the full path derives
+/// the general row (0, x) — the instance's strictly stronger condition
+/// forces the tuples to coincide, so it is redundant.
+bool Covers(const Tuple& a_tuple, ConjId a_cond, const Tuple& b_tuple,
+            ConjId b_cond, ConditionInterner& interner) {
+  if (!interner.Implies(b_cond, a_cond)) return false;
+  for (size_t i = 0; i < a_tuple.size(); ++i) {
+    if (a_tuple[i] == b_tuple[i]) continue;
+    CondAtom eq = Eq(a_tuple[i], b_tuple[i]);
+    if (IsTriviallyFalse(eq) ||
+        !interner.Implies(b_cond, interner.Intern(Conjunction{eq}))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Restricts a predicate's c-table to a goal binding: rows whose tuple
+/// clashes with a bound constant are dropped, matching a bound constant
+/// against a non-constant term conjoins the equality onto the row's
+/// condition, rows unsatisfiable together with `global_id` are dropped,
+/// every tuple term is resolved to its representative under the condition's
+/// forced equalities (the interner's canonical form emits one
+/// `rep = member` atom per class membership, `rep` on the left, so a bound
+/// null position becomes the goal constant), and only rows not covered by
+/// another row survive. Resolution plus the covering antichain make the
+/// result canonical: mutually covering rows have equal condition ids and
+/// therefore identical resolved tuples, so insertion order cannot matter —
+/// which is exactly why the magic and full paths restrict to *identical*
+/// row sets.
+CTable RestrictToGoal(const CTable& table,
+                      const std::vector<std::optional<ConstId>>& bindings,
+                      ConjId global_id, ConditionInterner& interner) {
+  std::vector<RestrictedRow> rows;
+
+  for (const CRow& row : table.rows()) {
+    ConjId cond = row.LocalId(interner);
+    Tuple tuple = row.tuple;
+    Conjunction eqs;
+    bool mismatch = false;
+    for (size_t i = 0; i < bindings.size() && i < tuple.size(); ++i) {
+      if (!bindings[i].has_value()) continue;
+      CondAtom eq = Eq(Term::Const(*bindings[i]), tuple[i]);
+      if (IsTriviallyFalse(eq)) {
+        mismatch = true;
+        break;
+      }
+      if (!IsTriviallyTrue(eq)) eqs.Add(eq);
+    }
+    if (mismatch) continue;
+    if (eqs.size() > 0) cond = interner.And(cond, interner.Intern(eqs));
+    if (!interner.Satisfiable(interner.And(global_id, cond))) continue;
+    // Resolve tuple terms through the condition's equality classes.
+    for (const CondAtom& atom : interner.Resolve(cond).atoms()) {
+      if (!atom.is_equality) continue;
+      for (Term& t : tuple) {
+        if (t == atom.rhs) t = atom.lhs;
+      }
+    }
+
+    bool covered = false;
+    for (const RestrictedRow& existing : rows) {
+      if (existing.alive &&
+          Covers(existing.tuple, existing.cond, tuple, cond, interner)) {
+        covered = true;  // duplicates included: a row covers itself
+        break;
+      }
+    }
+    if (covered) continue;
+    for (RestrictedRow& existing : rows) {
+      if (existing.alive &&
+          Covers(tuple, cond, existing.tuple, existing.cond, interner)) {
+        existing.alive = false;
+      }
+    }
+    rows.push_back(RestrictedRow{std::move(tuple), cond, true});
+  }
+
+  CTable out(table.arity());
+  for (RestrictedRow& row : rows) {
+    if (row.alive) out.AddRow(std::move(row.tuple), row.cond, interner);
+  }
+  return out;
+}
+
+}  // namespace
+
+CTable DatalogQueryOnCTables(const DatalogProgram& program,
+                             const CDatabase& database, int goal,
+                             const std::vector<std::optional<ConstId>>& bindings,
+                             ConditionedFixpointStats* stats,
+                             const DatalogCTableOptions& options) {
+  ConditionInterner& interner = options.interner != nullptr
+                                    ? *options.interner
+                                    : ConditionInterner::Global();
+  ConjId global_id = database.CombinedGlobalId(interner);
+  ConditionedFixpointStats local;
+  DatalogCTableOptions inner = options;
+  CDatabase fixpoint;
+  size_t goal_table;
+  if (options.use_magic) {
+    MagicRewriteResult rewrite = MagicRewrite(program, {goal, bindings});
+    inner.magic_pred_begin = static_cast<int>(rewrite.magic_begin);
+    fixpoint = DatalogOnCTables(rewrite.program, database, &local, inner);
+    local.rules_adorned = rewrite.rules_adorned;
+    local.magic_rules = rewrite.magic_rules;
+    goal_table = static_cast<size_t>(rewrite.goal_predicate);
+  } else {
+    inner.magic_pred_begin = -1;
+    fixpoint = DatalogOnCTables(program, database, &local, inner);
+    goal_table = static_cast<size_t>(goal);
+  }
+  CTable result = RestrictToGoal(fixpoint.table(goal_table), bindings,
+                                 global_id, interner);
+  result.SetGlobal(database.CombinedGlobal(), global_id, interner);
+  if (stats != nullptr) *stats = local;
+  return result;
 }
 
 }  // namespace pw

@@ -1,6 +1,7 @@
 // Differential test harness: the fast paths against the per-world oracle.
 //
-// Three families, all randomized with fixed seeds so failures reproduce:
+// Families, all randomized with fixed seeds so failures reproduce (set
+// PW_DIFF_SEED to rerun a single case — see "Debuggability" below):
 //
 //  1. Positive existential queries — the Imielinski–Lipski c-table
 //     evaluation (interned fast path AND plain seed path) must satisfy the
@@ -28,27 +29,75 @@
 //     input's worlds, on randomized programs (one or two extensional
 //     predicates) over randomized c-tables.
 //
-//  3. Updates — randomized Insert/Delete/InsertFactIf sequences must act
+//  3. Query-directed (magic-set) evaluation — for random programs and random
+//     goal binding patterns, DatalogQueryOnCTables through the magic-set
+//     rewrite must return exactly the full fixpoint's facts restricted to
+//     the goal (same tuples, interned-id-identical conditions), across the
+//     indexed/scan/naive strategies, and must represent the per-world goal
+//     answers; the demand-path possibility procedure must agree with the
+//     possibility search.
+//
+//  4. Multi-output queries and nested views — the image database of both
+//     intensional outputs must represent the pointwise relation pairs, and
+//     a second DATALOG program (or an RA expression) evaluated over the
+//     first program's intensional output must act pointwise on the
+//     represented worlds.
+//
+//  5. Updates — randomized Insert/Delete/InsertFactIf sequences must act
 //     pointwise on the represented worlds, including when a DATALOG view is
 //     then evaluated over the updated table on both fixpoint strategies.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <optional>
 #include <random>
 #include <string>
 #include <vector>
 
 #include "datalog/eval.h"
+#include "decision/possibility.h"
+#include "decision/view.h"
 #include "ilalgebra/ctable_eval.h"
 #include "ilalgebra/datalog_ctable.h"
 #include "ra/eval.h"
+#include "tables/text_format.h"
 #include "tables/updates.h"
 #include "test_util.h"
 #include "workload/random_gen.h"
 
 namespace pw {
 namespace {
+
+// --- Debuggability ----------------------------------------------------------
+//
+// Every randomized case is identified by its RNG seed. On failure the
+// assertion messages carry the offending program and c-table in replayable
+// text form (tables/text_format.h — FormatCTable round-trips through
+// ParseCTable), and a SCOPED_TRACE line names the seed. Setting the
+// PW_DIFF_SEED environment variable to that seed reruns exactly the matching
+// case and skips every other one:
+//
+//   PW_DIFF_SEED=3007 ctest -R differential --output-on-failure
+
+/// The PW_DIFF_SEED filter, or 0 when unset.
+unsigned SeedFilter() {
+  const char* s = std::getenv("PW_DIFF_SEED");
+  return s == nullptr ? 0u
+                      : static_cast<unsigned>(std::strtoul(s, nullptr, 10));
+}
+
+bool RunSeed(unsigned seed) {
+  unsigned filter = SeedFilter();
+  return filter == 0u || filter == seed;
+}
+
+/// Opens a randomized case: skips it when PW_DIFF_SEED selects another seed,
+/// and stamps the seed onto every failure message in scope.
+#define PW_DIFF_CASE(seed)                                          \
+  if (!RunSeed(seed)) GTEST_SKIP() << "skipped by PW_DIFF_SEED";    \
+  SCOPED_TRACE("replay with PW_DIFF_SEED=" + std::to_string(seed))
 
 /// A random positive existential expression over `num_rels` binary
 /// relations. Depth-bounded; every operator of the fragment can appear,
@@ -213,7 +262,9 @@ class DifferentialTest : public ::testing::TestWithParam<int> {};
 TEST_P(DifferentialTest, CTableEvalAgreesWithPerWorldEval) {
   // 25 parameter seeds x 5 pairs each = 125 randomized (query, c-table)
   // pairs, each checked on both evaluation paths.
-  std::mt19937 rng(1000 + GetParam());
+  const unsigned case_seed = 1000 + static_cast<unsigned>(GetParam());
+  PW_DIFF_CASE(case_seed);
+  std::mt19937 rng(case_seed);
   for (int round = 0; round < 5; ++round) {
     RandomCTableOptions options = testutil::SmallCTableOptions(
         /*arity=*/2, /*num_rows=*/3, /*num_constants=*/2, /*num_variables=*/2,
@@ -244,11 +295,11 @@ TEST_P(DifferentialTest, CTableEvalAgreesWithPerWorldEval) {
     EXPECT_EQ(fast->table(0), fast_nl->table(0))
         << "hash join diverged from nested loop (interned) on "
         << q.ToString() << "\n"
-        << t.ToString();
+        << FormatCTable(t);
     EXPECT_EQ(seed->table(0), seed_nl->table(0))
         << "hash join diverged from nested loop (plain) on " << q.ToString()
         << "\n"
-        << t.ToString();
+        << FormatCTable(t);
 
     std::vector<ConstId> extra = SharedContext(db, fast->table(0));
     for (ConstId c : seed->table(0).Constants()) extra.push_back(c);
@@ -257,17 +308,17 @@ TEST_P(DifferentialTest, CTableEvalAgreesWithPerWorldEval) {
         testutil::CanonicalImageWorlds({q}, db, extra);
     EXPECT_EQ(testutil::CanonicalWorlds(*fast, extra), oracle)
         << "interned path diverged on " << q.ToString() << "\n"
-        << t.ToString();
+        << FormatCTable(t);
     EXPECT_EQ(testutil::CanonicalWorlds(*seed, extra), oracle)
         << "seed path diverged on " << q.ToString() << "\n"
-        << t.ToString();
+        << FormatCTable(t);
 
     // Minimized()-after-eval: minimization must preserve the represented
     // image worlds (it runs on the indexed-join output, global attached).
     CDatabase minimized{fast->table(0).Minimized()};
     EXPECT_EQ(testutil::CanonicalWorlds(minimized, extra), oracle)
         << "Minimized() after eval diverged on " << q.ToString() << "\n"
-        << t.ToString();
+        << FormatCTable(t);
   }
 }
 
@@ -279,7 +330,9 @@ INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest, ::testing::Range(0, 25));
 class NaryJoinDifferentialTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(NaryJoinDifferentialTest, PlannedJoinAgreesWithNestedLoopAndWorlds) {
-  std::mt19937 rng(6000 + GetParam());
+  const unsigned case_seed = 6000 + static_cast<unsigned>(GetParam());
+  PW_DIFF_CASE(case_seed);
+  std::mt19937 rng(case_seed);
   for (int round = 0; round < 3; ++round) {
     RandomCTableOptions options = testutil::SmallCTableOptions(
         /*arity=*/2, /*num_rows=*/2, /*num_constants=*/2, /*num_variables=*/2,
@@ -319,15 +372,15 @@ TEST_P(NaryJoinDifferentialTest, PlannedJoinAgreesWithNestedLoopAndWorlds) {
     EXPECT_EQ(fast->table(0), fast_nl->table(0))
         << "planned join diverged from nested loop (interned) on "
         << q.ToString() << "\n"
-        << db.ToString();
+        << FormatCDatabase(db);
     EXPECT_EQ(fast_bin->table(0), fast_nl->table(0))
         << "binary-only fusion diverged from nested loop on " << q.ToString()
         << "\n"
-        << db.ToString();
+        << FormatCDatabase(db);
     EXPECT_EQ(seed->table(0), seed_nl->table(0))
         << "planned join diverged from nested loop (plain) on "
         << q.ToString() << "\n"
-        << db.ToString();
+        << FormatCDatabase(db);
 
     std::vector<ConstId> extra = SharedContext(db, fast->table(0));
     for (ConstId c : seed->table(0).Constants()) extra.push_back(c);
@@ -335,10 +388,10 @@ TEST_P(NaryJoinDifferentialTest, PlannedJoinAgreesWithNestedLoopAndWorlds) {
         testutil::CanonicalImageWorlds({q}, db, extra);
     EXPECT_EQ(testutil::CanonicalWorlds(*fast, extra), oracle)
         << "interned planned path diverged on " << q.ToString() << "\n"
-        << db.ToString();
+        << FormatCDatabase(db);
     EXPECT_EQ(testutil::CanonicalWorlds(*seed, extra), oracle)
         << "plain planned path diverged on " << q.ToString() << "\n"
-        << db.ToString();
+        << FormatCDatabase(db);
   }
 }
 
@@ -351,7 +404,9 @@ INSTANTIATE_TEST_SUITE_P(Seeds, NaryJoinDifferentialTest,
 class MultiTableDifferentialTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(MultiTableDifferentialTest, CTableEvalAgreesWithPerWorldEval) {
-  std::mt19937 rng(2000 + GetParam());
+  const unsigned case_seed = 2000 + static_cast<unsigned>(GetParam());
+  PW_DIFF_CASE(case_seed);
+  std::mt19937 rng(case_seed);
   for (int round = 0; round < 3; ++round) {
     RandomCTableOptions options = testutil::SmallCTableOptions(
         /*arity=*/2, /*num_rows=*/2, /*num_constants=*/2, /*num_variables=*/2,
@@ -374,7 +429,7 @@ TEST_P(MultiTableDifferentialTest, CTableEvalAgreesWithPerWorldEval) {
     ASSERT_TRUE(fast.has_value() && seed.has_value() && fast_nl.has_value());
     EXPECT_EQ(fast->table(0), fast_nl->table(0))
         << "hash join diverged from nested loop on " << q.ToString() << "\n"
-        << db.ToString();
+        << FormatCDatabase(db);
 
     std::vector<ConstId> extra = SharedContext(db, fast->table(0));
     for (ConstId c : seed->table(0).Constants()) extra.push_back(c);
@@ -383,15 +438,15 @@ TEST_P(MultiTableDifferentialTest, CTableEvalAgreesWithPerWorldEval) {
         testutil::CanonicalImageWorlds({q}, db, extra);
     EXPECT_EQ(testutil::CanonicalWorlds(*fast, extra), oracle)
         << "interned path diverged on " << q.ToString() << "\n"
-        << db.ToString();
+        << FormatCDatabase(db);
     EXPECT_EQ(testutil::CanonicalWorlds(*seed, extra), oracle)
         << "seed path diverged on " << q.ToString() << "\n"
-        << db.ToString();
+        << FormatCDatabase(db);
 
     CDatabase minimized{fast->table(0).Minimized()};
     EXPECT_EQ(testutil::CanonicalWorlds(minimized, extra), oracle)
         << "Minimized() after eval diverged on " << q.ToString() << "\n"
-        << db.ToString();
+        << FormatCDatabase(db);
   }
 }
 
@@ -487,7 +542,7 @@ void ExpectRepresentsFixpointOfEveryWorld(const DatalogProgram& program,
     }
     return true;
   });
-  EXPECT_TRUE(all_match) << db.ToString() << image.ToString();
+  EXPECT_TRUE(all_match) << FormatCDatabase(db) << image.ToString();
 }
 
 class DatalogDifferentialTest : public ::testing::TestWithParam<int> {};
@@ -496,7 +551,9 @@ TEST_P(DatalogDifferentialTest, SemiNaiveAgreesWithNaiveAndPerWorld) {
   // 25 parameter seeds x 4 (program, c-table) pairs: the semi-naive and
   // naive conditioned fixpoints must produce identical c-tables up to row
   // order, and both must represent the per-world fixpoints exactly.
-  std::mt19937 rng(3000 + GetParam());
+  const unsigned case_seed = 3000 + static_cast<unsigned>(GetParam());
+  PW_DIFF_CASE(case_seed);
+  std::mt19937 rng(case_seed);
   for (int round = 0; round < 4; ++round) {
     DatalogProgram program = RandomDatalogProgram(rng);
     RandomCTableOptions options = testutil::SmallCTableOptions(
@@ -522,13 +579,13 @@ TEST_P(DatalogDifferentialTest, SemiNaiveAgreesWithNaiveAndPerWorld) {
     for (size_t p = 0; p < fast.num_tables(); ++p) {
       EXPECT_EQ(CanonicalRowSet(fast.table(p)), CanonicalRowSet(seed.table(p)))
           << "strategies diverged on predicate " << p << "\n"
-          << program.ToString() << t.ToString();
+          << program.ToString() << FormatCTable(t);
       // Indexed body-atom matching enumerates exactly the scan's matches in
       // the scan's order, so the tables must be *identical*, not merely
       // equal up to row order.
       EXPECT_EQ(fast.table(p), scanned.table(p))
           << "indexed join diverged from scan on predicate " << p << "\n"
-          << program.ToString() << t.ToString();
+          << program.ToString() << FormatCTable(t);
     }
     // Semi-naive re-fires strictly fewer combinations; its duplicate count
     // must never exceed the naive one.
@@ -554,7 +611,9 @@ class DatalogMultiTableDifferentialTest
     : public ::testing::TestWithParam<int> {};
 
 TEST_P(DatalogMultiTableDifferentialTest, AgreesAcrossStrategiesAndWorlds) {
-  std::mt19937 rng(5000 + GetParam());
+  const unsigned case_seed = 5000 + static_cast<unsigned>(GetParam());
+  PW_DIFF_CASE(case_seed);
+  std::mt19937 rng(case_seed);
   for (int round = 0; round < 3; ++round) {
     DatalogProgram program = RandomDatalogProgram(rng, /*num_edb=*/2);
     RandomCTableOptions options = testutil::SmallCTableOptions(
@@ -577,16 +636,295 @@ TEST_P(DatalogMultiTableDifferentialTest, AgreesAcrossStrategiesAndWorlds) {
     for (size_t p = 0; p < fast.num_tables(); ++p) {
       EXPECT_EQ(CanonicalRowSet(fast.table(p)), CanonicalRowSet(seed.table(p)))
           << "strategies diverged on predicate " << p << "\n"
-          << program.ToString() << db.ToString();
+          << program.ToString() << FormatCDatabase(db);
       EXPECT_EQ(fast.table(p), scanned.table(p))
           << "indexed join diverged from scan on predicate " << p << "\n"
-          << program.ToString() << db.ToString();
+          << program.ToString() << FormatCDatabase(db);
     }
     ExpectRepresentsFixpointOfEveryWorld(program, db, fast);
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DatalogMultiTableDifferentialTest,
+                         ::testing::Range(0, 15));
+
+// --- Query-directed (magic-set) evaluation ----------------------------------
+
+/// A random goal binding: each position independently bound to a small
+/// constant or left free.
+std::vector<std::optional<ConstId>> RandomBindings(std::mt19937& rng,
+                                                   int arity) {
+  std::uniform_int_distribution<int> coin(0, 1);
+  std::uniform_int_distribution<int> small_const(0, 2);
+  std::vector<std::optional<ConstId>> out;
+  for (int i = 0; i < arity; ++i) {
+    out.push_back(coin(rng) ? std::optional<ConstId>(small_const(rng))
+                            : std::nullopt);
+  }
+  return out;
+}
+
+std::string BindingsString(const std::vector<std::optional<ConstId>>& b) {
+  std::string out = "(";
+  for (size_t i = 0; i < b.size(); ++i) {
+    if (i > 0) out += ",";
+    out += b[i].has_value() ? std::to_string(*b[i]) : "_";
+  }
+  return out + ")";
+}
+
+bool MatchesBindings(const Fact& fact,
+                     const std::vector<std::optional<ConstId>>& bindings) {
+  for (size_t i = 0; i < bindings.size(); ++i) {
+    if (bindings[i].has_value() && fact[i] != *bindings[i]) return false;
+  }
+  return true;
+}
+
+// Random programs + random goal binding patterns: the magic-rewritten run
+// must return exactly the full fixpoint's facts restricted to the goal —
+// same tuples, interned-id-identical conditions (CanonicalRowSet renders the
+// interner-canonical form, which is 1:1 with the id) — on the indexed, scan,
+// and naive strategies alike, and must represent the per-world goal answers
+// exactly.
+class MagicDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MagicDifferentialTest, MagicEqualsRestrictedFullFixpoint) {
+  const unsigned case_seed = 7000 + static_cast<unsigned>(GetParam());
+  PW_DIFF_CASE(case_seed);
+  std::mt19937 rng(case_seed);
+  for (int round = 0; round < 4; ++round) {
+    int num_edb = 1 + (round % 2);
+    DatalogProgram program = RandomDatalogProgram(rng, num_edb);
+    RandomCTableOptions options = testutil::SmallCTableOptions(
+        /*arity=*/2, /*num_rows=*/3 - (num_edb - 1), /*num_constants=*/3,
+        /*num_variables=*/2,
+        /*num_local_atoms=*/GetParam() % 2,
+        /*num_global_atoms=*/GetParam() % 2);
+    std::vector<CTable> tables;
+    for (int p = 0; p < num_edb; ++p) {
+      tables.push_back(RandomCTable(options, rng));
+    }
+    CDatabase db(tables);
+    std::uniform_int_distribution<int> any_pred(
+        0, static_cast<int>(program.num_predicates()) - 1);
+    int goal = any_pred(rng);
+    std::vector<std::optional<ConstId>> bindings =
+        RandomBindings(rng, program.arity(goal));
+    std::string label = "goal P" + std::to_string(goal) +
+                        BindingsString(bindings) + "\n" + program.ToString() +
+                        FormatCDatabase(db);
+
+    ConditionedFixpointStats magic_stats;
+    ConditionedFixpointStats full_stats;
+    DatalogCTableOptions full;
+    full.use_magic = false;
+    CTable via_magic = DatalogQueryOnCTables(program, db, goal, bindings,
+                                             &magic_stats);
+    CTable via_full = DatalogQueryOnCTables(program, db, goal, bindings,
+                                            &full_stats, full);
+    EXPECT_EQ(CanonicalRowSet(via_magic), CanonicalRowSet(via_full))
+        << "magic diverged from restricted full fixpoint on " << label;
+    EXPECT_EQ(via_magic.global(), via_full.global());
+
+    // The demand path composes with every fixpoint strategy.
+    DatalogCTableOptions scan;
+    scan.use_index = false;
+    DatalogCTableOptions naive;
+    naive.semi_naive = false;
+    CTable via_scan =
+        DatalogQueryOnCTables(program, db, goal, bindings, nullptr, scan);
+    CTable via_naive =
+        DatalogQueryOnCTables(program, db, goal, bindings, nullptr, naive);
+    EXPECT_EQ(CanonicalRowSet(via_magic), CanonicalRowSet(via_scan))
+        << "magic/scan diverged on " << label;
+    EXPECT_EQ(CanonicalRowSet(via_magic), CanonicalRowSet(via_naive))
+        << "magic/naive diverged on " << label;
+
+    // Per-world: sigma(answers) == the goal-matching facts of the DATALOG
+    // fixpoint of sigma(db), for every satisfying valuation.
+    WorldEnumOptions wopts;
+    for (ConstId c = 0; c <= 3; ++c) wopts.extra_constants.push_back(c);
+    bool all_match = true;
+    ForEachSatisfyingValuation(db, wopts, [&](const Valuation& v) {
+      Instance world = v.Apply(db);
+      Instance fix = SemiNaiveEval(program, world);
+      Relation expected(program.arity(goal));
+      for (const Fact& f : fix.relation(static_cast<size_t>(goal))) {
+        if (MatchesBindings(f, bindings)) expected.Insert(f);
+      }
+      if (v.Apply(via_magic) != expected) {
+        all_match = false;
+        return false;
+      }
+      return true;
+    });
+    EXPECT_TRUE(all_match) << "magic answers diverged per-world on " << label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MagicDifferentialTest, ::testing::Range(0, 20));
+
+// --- Multi-output queries and nested views -----------------------------------
+
+// Multi-output DATALOG queries: the image database formed by *both*
+// intensional tables (global carried on the first) must represent exactly
+// the pointwise pairs of fixpoint relations.
+class MultiOutputDatalogDifferentialTest
+    : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiOutputDatalogDifferentialTest, ImageRepresentsOutputPairs) {
+  const unsigned case_seed = 8000 + static_cast<unsigned>(GetParam());
+  PW_DIFF_CASE(case_seed);
+  std::mt19937 rng(case_seed);
+  for (int round = 0; round < 3; ++round) {
+    DatalogProgram program = RandomDatalogProgram(rng);
+    RandomCTableOptions options = testutil::SmallCTableOptions(
+        /*arity=*/2, /*num_rows=*/3, /*num_constants=*/3, /*num_variables=*/2,
+        /*num_local_atoms=*/GetParam() % 2,
+        /*num_global_atoms=*/GetParam() % 2);
+    CTable t = RandomCTable(options, rng);
+    CDatabase db{t};
+
+    CDatabase fixpoint = DatalogOnCTables(program, db);
+    CDatabase image(
+        std::vector<CTable>{fixpoint.table(1), fixpoint.table(2)});
+    image.mutable_table(0).SetGlobal(fixpoint.CombinedGlobal());
+
+    std::vector<ConstId> extra = db.Constants();
+    for (size_t p = 0; p < image.num_tables(); ++p) {
+      for (ConstId c : image.table(p).Constants()) extra.push_back(c);
+    }
+    for (ConstId c = 0; c <= 3; ++c) extra.push_back(c);
+
+    WorldEnumOptions wopts;
+    wopts.extra_constants = extra;
+    std::vector<std::string> oracle;
+    ForEachWorld(db, wopts, [&](const Instance& world, const Valuation&) {
+      Instance fix = SemiNaiveEval(program, world);
+      oracle.push_back(testutil::CanonicalWorldString(
+          Instance({fix.relation(1), fix.relation(2)}), extra));
+      return true;
+    });
+    std::sort(oracle.begin(), oracle.end());
+    oracle.erase(std::unique(oracle.begin(), oracle.end()), oracle.end());
+
+    EXPECT_EQ(testutil::CanonicalWorlds(image, extra), oracle)
+        << "multi-output image diverged on\n"
+        << program.ToString() << FormatCTable(t);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiOutputDatalogDifferentialTest,
+                         ::testing::Range(0, 15));
+
+// Nested views: the intensional output of one program becomes the input of
+// a second program AND of an RA expression; both nestings must act pointwise
+// on the represented worlds.
+class NestedViewDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NestedViewDifferentialTest, NestingsActPointwiseOnWorlds) {
+  const unsigned case_seed = 9000 + static_cast<unsigned>(GetParam());
+  PW_DIFF_CASE(case_seed);
+  std::mt19937 rng(case_seed);
+  for (int round = 0; round < 2; ++round) {
+    DatalogProgram inner = RandomDatalogProgram(rng);
+    RandomCTableOptions options = testutil::SmallCTableOptions(
+        /*arity=*/2, /*num_rows=*/2, /*num_constants=*/3, /*num_variables=*/2,
+        /*num_local_atoms=*/GetParam() % 2,
+        /*num_global_atoms=*/GetParam() % 2);
+    CTable t = RandomCTable(options, rng);
+    CDatabase db{t};
+
+    CDatabase stage1 = DatalogOnCTables(inner, db);
+    CDatabase mid(std::vector<CTable>{stage1.table(1), stage1.table(2)});
+    mid.mutable_table(0).SetGlobal(stage1.CombinedGlobal());
+
+    // (a) DATALOG over the DATALOG view: the two intensional outputs are the
+    // second program's extensional predicates.
+    DatalogProgram outer = RandomDatalogProgram(rng, /*num_edb=*/2);
+    CDatabase stage2 = DatalogOnCTables(outer, mid);
+    // (b) an RA expression over the same view outputs.
+    RaExpr q = RandomPosExistential(rng, 2, /*num_rels=*/2);
+    auto ra_image = EvalQueryOnCTables({q}, mid);
+    ASSERT_TRUE(ra_image.has_value());
+
+    WorldEnumOptions wopts;
+    for (ConstId c = 0; c <= 3; ++c) wopts.extra_constants.push_back(c);
+    bool datalog_match = true;
+    bool ra_match = true;
+    ForEachSatisfyingValuation(db, wopts, [&](const Valuation& v) {
+      Instance world = v.Apply(db);
+      Instance fix = SemiNaiveEval(inner, world);
+      Instance mid_world({fix.relation(1), fix.relation(2)});
+      if (v.Apply(stage2) != SemiNaiveEval(outer, mid_world)) {
+        datalog_match = false;
+      }
+      if (v.Apply(ra_image->table(0)) !=
+          EvalQuery({q}, mid_world).relation(0)) {
+        ra_match = false;
+      }
+      return datalog_match && ra_match;
+    });
+    EXPECT_TRUE(datalog_match)
+        << "nested DATALOG view diverged per-world on\n"
+        << inner.ToString() << "then\n"
+        << outer.ToString() << FormatCTable(t);
+    EXPECT_TRUE(ra_match) << "RA over DATALOG view diverged per-world on\n"
+                          << inner.ToString() << "then " << q.ToString()
+                          << "\n"
+                          << FormatCTable(t);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NestedViewDifferentialTest,
+                         ::testing::Range(0, 15));
+
+// Goal-shaped possibility through the demand path: PossDatalogDemand (each
+// pattern fact a fully bound magic-set goal) must agree with the per-world
+// possibility search on random DATALOG views and patterns.
+class DemandPossibilityDifferentialTest
+    : public ::testing::TestWithParam<int> {};
+
+TEST_P(DemandPossibilityDifferentialTest, DemandAgreesWithSearch) {
+  const unsigned case_seed = 9500 + static_cast<unsigned>(GetParam());
+  PW_DIFF_CASE(case_seed);
+  std::mt19937 rng(case_seed);
+  for (int round = 0; round < 3; ++round) {
+    DatalogProgram program = RandomDatalogProgram(rng);
+    RandomCTableOptions options = testutil::SmallCTableOptions(
+        /*arity=*/2, /*num_rows=*/3, /*num_constants=*/3, /*num_variables=*/2,
+        /*num_local_atoms=*/GetParam() % 2,
+        /*num_global_atoms=*/GetParam() % 2);
+    CTable t = RandomCTable(options, rng);
+    CDatabase db{t};
+    View view = View::Datalog(program, {1, 2});
+
+    std::uniform_int_distribution<int> num_facts(1, 2);
+    std::uniform_int_distribution<int> rel(0, 1);
+    std::uniform_int_distribution<int> small_const(0, 2);
+    std::vector<LocatedFact> pattern;
+    int n = num_facts(rng);
+    for (int i = 0; i < n; ++i) {
+      pattern.push_back({static_cast<size_t>(rel(rng)),
+                         {small_const(rng), small_const(rng)}});
+    }
+
+    auto demand = PossDatalogDemand(view, db, pattern);
+    bool search = PossibilitySearch(view, db, pattern);
+    // nullopt when the demand path declines (an all-free sub-demand, or
+    // budget exhaustion — the latter not expected at these tiny sizes).
+    if (demand.has_value()) {
+      EXPECT_EQ(*demand, search) << "demand-path possibility diverged on\n"
+                                 << program.ToString() << FormatCTable(t);
+    }
+    // The dispatcher routes DATALOG views through the demand path (falling
+    // back to the search when it declines — either way it must agree).
+    EXPECT_EQ(Possibility(view, db, pattern), search);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DemandPossibilityDifferentialTest,
                          ::testing::Range(0, 15));
 
 // --- Updates ----------------------------------------------------------------
@@ -654,7 +992,9 @@ TEST_P(UpdateDifferentialTest, UpdateSequencesActPointwiseOnWorlds) {
   // results, valuation by valuation; a transitive-closure view evaluated
   // over the updated table (both fixpoint strategies) must then represent
   // the per-world fixpoints of those results.
-  std::mt19937 rng(4000 + GetParam());
+  const unsigned case_seed = 4000 + static_cast<unsigned>(GetParam());
+  PW_DIFF_CASE(case_seed);
+  std::mt19937 rng(case_seed);
   constexpr int kConstants = 3;
   constexpr int kVariables = 2;
   for (int round = 0; round < 4; ++round) {
@@ -701,7 +1041,7 @@ TEST_P(UpdateDifferentialTest, UpdateSequencesActPointwiseOnWorlds) {
       }
       return true;
     });
-    EXPECT_TRUE(all_match) << t.ToString() << updated.ToString();
+    EXPECT_TRUE(all_match) << FormatCTable(t) << FormatCTable(updated);
 
     // A DATALOG view over the updated table: both strategies, same rows,
     // correct worlds.
@@ -721,7 +1061,7 @@ TEST_P(UpdateDifferentialTest, UpdateSequencesActPointwiseOnWorlds) {
     CDatabase seed = DatalogOnCTables(tc, updated_db, nullptr, naive);
     for (size_t p = 0; p < fast.num_tables(); ++p) {
       EXPECT_EQ(CanonicalRowSet(fast.table(p)), CanonicalRowSet(seed.table(p)))
-          << updated.ToString();
+          << FormatCTable(updated);
     }
     ExpectRepresentsFixpointOfEveryWorld(tc, updated_db, fast);
   }

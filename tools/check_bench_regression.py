@@ -10,6 +10,8 @@ each fast-path benchmark with its seed-path twin by name:
     *_IndexedJoin/N    vs  *_ScanJoin/N      (indexed body-atom matching)
     *_PlannedJoin/N    vs  *_BinaryFusion/N  (n-ary join planner vs the
                                               binary-only fusion baseline)
+    *_Magic/N          vs  *_FullFixpoint/N  (magic-set demand evaluation vs
+                                              full fixpoint + restriction)
 
 Exits nonzero when any fast path takes more than --max-ratio times its seed
 pair (default 2.0, the CI regression budget), or when no pair was found at
@@ -22,7 +24,7 @@ import sys
 
 PAIRS = [("SemiNaive", "Naive"), ("InternedPath", "SeedPath"),
          ("HashJoin", "NestedLoop"), ("IndexedJoin", "ScanJoin"),
-         ("PlannedJoin", "BinaryFusion")]
+         ("PlannedJoin", "BinaryFusion"), ("Magic", "FullFixpoint")]
 
 
 def load_times(paths):
