@@ -15,7 +15,10 @@
 // which is where interning (memoized And, duplicate ids) pays off most.
 // The *_Magic / *_FullFixpoint pair measures query-directed evaluation: a
 // selective point query answered through the magic-set rewrite against the
-// full fixpoint restricted afterwards.
+// full fixpoint restricted afterwards. The *_Incremental / *_Recompute pair
+// measures incremental view maintenance: an update stream folded into a
+// maintained MaterializedView against rerunning the fixpoint from scratch
+// after every update.
 
 #include <benchmark/benchmark.h>
 
@@ -23,8 +26,10 @@
 
 #include "bench_util.h"
 #include "datalog/eval.h"
+#include "datalog/ivm.h"
 #include "ilalgebra/datalog_ctable.h"
 #include "tables/ctable.h"
+#include "tables/updates.h"
 
 namespace pw {
 namespace {
@@ -199,6 +204,84 @@ void BM_ConditionedTC_PointQuery_FullFixpoint(benchmark::State& state) {
 }
 BENCHMARK(BM_ConditionedTC_PointQuery_FullFixpoint)
     ->DenseRange(64, 256, 64)
+    ->Unit(benchmark::kMicrosecond);
+
+// Live updates: a stream of edge insertions extending the chain, with a
+// delete + reinsert of an existing edge every 24th step. The incremental
+// side maintains one MaterializedView (datalog/ivm.h): each insertion seeds
+// the converged semi-naive state and resumes, so the cost tracks the
+// insertion's derivation cone; each deletion takes the covered fast path or
+// the cone over-delete/re-derive. The recompute side applies the same
+// updates to the base table and reruns the full fixpoint from scratch after
+// every one. Both sides pay the initial materialization inside the timed
+// region. Paired as *_Incremental / *_Recompute for the CI gate — the
+// maintained view must stay well under the 2x budget (expected >= 5x faster
+// at the smoke sizes).
+void RunUpdateStream(benchmark::State& state, bool incremental,
+                     const char* label) {
+  const int n = static_cast<int>(state.range(0));
+  DatalogProgram tc = TransitiveClosure();
+  size_t derived = 0;
+  size_t covered = 0;
+  size_t rebuilds = 0;
+  for (auto _ : state) {
+    CDatabase db = NullChain(n, /*gap=*/0);
+    if (incremental) {
+      MaterializedView view(tc, db);
+      for (int u = 0; u < n; ++u) {
+        if (u % 24 == 23) {
+          Fact edge{u, u + 1};
+          view.Delete(0, edge);
+          view.Insert(0, edge);
+        } else {
+          view.Insert(0, {n + u, n + u + 1});
+        }
+      }
+      benchmark::DoNotOptimize(view);
+      IvmStats stats = view.stats();
+      derived = stats.fixpoint.derived_rows;
+      covered = stats.deletes_covered;
+      rebuilds = stats.cone_rebuilds;
+    } else {
+      CTable base = db.table(0);
+      derived = 0;
+      for (int u = 0; u < n; ++u) {
+        if (u % 24 == 23) {
+          Fact edge{u, u + 1};
+          DeleteFactInPlace(base, edge);
+          InsertFactInPlace(base, edge);
+        } else {
+          InsertFactInPlace(base, {n + u, n + u + 1});
+        }
+        ConditionedFixpointStats stats;
+        CDatabase out = DatalogOnCTables(tc, CDatabase{base}, &stats);
+        benchmark::DoNotOptimize(out);
+        derived += stats.derived_rows;
+      }
+    }
+  }
+  state.counters["rows"] = static_cast<double>(derived);
+  if (incremental) {
+    state.counters["covered"] = static_cast<double>(covered);
+    state.counters["rebuilds"] = static_cast<double>(rebuilds);
+  }
+  state.SetLabel(label);
+}
+
+void BM_ConditionedTC_UpdateStream_Incremental(benchmark::State& state) {
+  RunUpdateStream(state, /*incremental=*/true,
+                  "edge-update stream, maintained view (IVM)");
+}
+BENCHMARK(BM_ConditionedTC_UpdateStream_Incremental)
+    ->DenseRange(32, 64, 32)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ConditionedTC_UpdateStream_Recompute(benchmark::State& state) {
+  RunUpdateStream(state, /*incremental=*/false,
+                  "edge-update stream, full recompute per update");
+}
+BENCHMARK(BM_ConditionedTC_UpdateStream_Recompute)
+    ->DenseRange(32, 64, 32)
     ->Unit(benchmark::kMicrosecond);
 
 // One shared null across every gap: the same handful of conditions recurs in

@@ -1,5 +1,7 @@
 #include "ilalgebra/datalog_ctable.h"
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -38,10 +40,13 @@ struct PredState {
   size_t delta_begin = 0;
   size_t delta_end = 0;
   // Lazily-built hash indexes of the rows' tuples per bound-column subset,
-  // extended across rounds as rows are appended (rows are append-only
-  // during a fixpoint, so the cache stamp never changes). Dead rows stay
-  // indexed and are skipped at match time, like in the scan.
+  // extended across rounds — and across Run() calls — as rows are appended.
+  // Rows are append-only except for ClearPredicate, which bumps `stamp` so
+  // any entry that survives the Clear rebuilds instead of serving stale row
+  // ids. Dead rows stay indexed and are skipped at match time, like in the
+  // scan.
   TupleIndexCache indexes;
+  uint64_t stamp = 1;
 };
 
 struct EvalState {
@@ -156,17 +161,17 @@ bool MatchArgs(const Tuple& args, const Tuple& row,
 }
 
 /// The up-to-date index of `pred`'s rows on `cols`. Rows are append-only
-/// during a fixpoint, so the cache only ever extends (the stamp is
-/// constant); builds and extends are counted separately into the stats, so
-/// a mid-query catch-up after an append is never mistaken for (or
-/// double-counted as) a rebuild.
+/// between ClearPredicate calls, so the cache usually just extends; a Clear
+/// bumps the predicate's stamp and the entry rebuilds. Builds and extends
+/// are counted separately into the stats, so a mid-query catch-up after an
+/// append is never mistaken for (or double-counted as) a rebuild.
 const TupleIndex& IndexFor(EvalState& state, int pred,
                            const std::vector<int>& cols) {
   PredState& ps = state.preds[pred];
   size_t builds_before = ps.indexes.stats().builds;
   size_t extends_before = ps.indexes.stats().extends;
   const TupleIndex& index = ps.indexes.Get(
-      cols, ps.rows.size(), /*stamp=*/1,
+      cols, ps.rows.size(), ps.stamp,
       [&ps](size_t i) -> const Tuple& { return *ps.rows[i].tuple; });
   state.stats.index_builds += ps.indexes.stats().builds - builds_before;
   state.stats.index_extends += ps.indexes.stats().extends - extends_before;
@@ -194,17 +199,57 @@ bool FireRule(EvalState& state, const DatalogRule& rule, int delta_pos) {
   const bool magic_head = state.IsMagicPred(rule.head.predicate);
   std::map<VarId, Term> binding;
 
-  std::function<void(size_t, ConjId)> go = [&](size_t pos, ConjId acc) {
+  // Enumerate the delta atom first, then the rest in body order. The delta
+  // window is the smallest range by construction (often a single seeded
+  // row), and binding its variables up front turns the other atoms' scans
+  // into keyed index probes — O(matches) instead of O(rows) per delta row.
+  // A pure permutation of the enumeration order: the combination set is
+  // unchanged.
+  std::vector<size_t> order(rule.body.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (delta_pos > 0) {
+    std::rotate(order.begin(), order.begin() + delta_pos,
+                order.begin() + delta_pos + 1);
+  }
+
+  // The matched row (tuple pointer and condition) per *body* position —
+  // tuple pointers are stable (they point at by_tuple keys, a node-based
+  // map), so capturing them across the recursion is safe even when Insert
+  // grows the row vectors.
+  std::vector<const Tuple*> matched(rule.body.size(), nullptr);
+  std::vector<ConjId> matched_cond(rule.body.size(),
+                                   ConditionInterner::kTrueConj);
+
+  std::function<void(size_t, ConjId)> go = [&](size_t depth, ConjId acc) {
     if (state.aborted) return;
-    if (pos == rule.body.size()) {
+    if (depth == rule.body.size()) {
+      // Re-derive the binding and equality conditions in *body order* from
+      // the matched rows. Which atom a shared variable's representative
+      // term comes from depends on the order the atoms were matched, and
+      // rows with nulls make rep-equivalent representatives syntactically
+      // different — so the emitted (tuple, condition) pair must be
+      // computed order-canonically, or evaluation schedules with different
+      // delta windows (incremental resume vs from-scratch) would derive
+      // different rows and break their identity.
+      std::map<VarId, Term> canon;
+      Conjunction eqs;
+      ConjId cond = ConditionInterner::kTrueConj;
+      for (size_t p = 0; p < rule.body.size(); ++p) {
+        bool ok = MatchArgs(rule.body[p].args, *matched[p], canon, eqs);
+        (void)ok;
+        assert(ok);  // constant conflicts fail in every match order
+        cond = interner.And(cond, matched_cond[p]);
+      }
+      if (eqs.size() > 0) cond = interner.And(cond, interner.Intern(eqs));
       Tuple head;
       head.reserve(rule.head.args.size());
       for (const Term& t : rule.head.args) {
-        head.push_back(t.is_constant() ? t : binding.at(t.variable()));
+        head.push_back(t.is_constant() ? t : canon.at(t.variable()));
       }
-      added |= Insert(state, rule.head.predicate, std::move(head), acc);
+      added |= Insert(state, rule.head.predicate, std::move(head), cond);
       return;
     }
+    const size_t pos = order[depth];
     const DatalogAtom& atom = rule.body[pos];
     PredState& ps = state.preds[atom.predicate];
     size_t lo = 0;
@@ -255,7 +300,9 @@ bool FireRule(EvalState& state, const DatalogRule& rule, int delta_pos) {
           ++state.stats.pruned_branches;  // never-on prefix: cut the subtree
           if (magic_head) ++state.stats.demand_pruned;
         } else {
-          go(pos + 1, next);
+          matched[pos] = ps.rows[idx].tuple;
+          matched_cond[pos] = row_cond;
+          go(depth + 1, next);
         }
       }
       binding = std::move(saved_binding);
@@ -277,45 +324,81 @@ void AdvanceDeltas(EvalState& state) {
 
 }  // namespace
 
-CDatabase DatalogOnCTables(const DatalogProgram& program,
-                           const CDatabase& database,
-                           ConditionedFixpointStats* stats,
-                           const DatalogCTableOptions& options) {
-  ConditionInterner& interner = options.interner != nullptr
-                                    ? *options.interner
-                                    : ConditionInterner::Global();
+struct ConditionedFixpoint::Impl {
+  const DatalogProgram* program = nullptr;
+  bool semi_naive = true;
   EvalState state;
-  state.interner = &interner;
-  state.global_id = database.CombinedGlobalId(interner);
+  // Interner size at construction: stats() reports growth since then, which
+  // matches the one-shot evaluators (they intern the global condition before
+  // constructing the fixpoint).
+  size_t interner_baseline = 0;
+};
+
+ConditionedFixpoint::ConditionedFixpoint(const DatalogProgram& program,
+                                         const DatalogCTableOptions& options)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->program = &program;
+  impl_->semi_naive = options.semi_naive;
+  EvalState& state = impl_->state;
+  state.interner = options.interner != nullptr ? options.interner
+                                               : &ConditionInterner::Global();
   state.use_index = options.use_index;
   state.magic_begin = options.magic_pred_begin;
   state.max_derived_rows = options.max_derived_rows;
   state.preds.resize(program.num_predicates());
-  size_t interner_size_before = interner.num_conjunctions();
+  impl_->interner_baseline = state.interner->num_conjunctions();
+}
 
-  // Seed extensional predicates with the input rows; the seeds form the
-  // first delta.
-  for (size_t p = 0; p < program.num_edb() && p < database.num_tables();
-       ++p) {
-    for (const CRow& row : database.table(p).rows()) {
-      if (state.aborted) break;
-      Insert(state, static_cast<int>(p), row.tuple, row.LocalId(interner));
-    }
+ConditionedFixpoint::~ConditionedFixpoint() = default;
+ConditionedFixpoint::ConditionedFixpoint(ConditionedFixpoint&&) noexcept =
+    default;
+ConditionedFixpoint& ConditionedFixpoint::operator=(
+    ConditionedFixpoint&&) noexcept = default;
+
+ConditionInterner& ConditionedFixpoint::interner() const {
+  return *impl_->state.interner;
+}
+
+void ConditionedFixpoint::SetGlobal(ConjId global_id) {
+  impl_->state.global_id = global_id;
+}
+
+bool ConditionedFixpoint::Seed(int pred, const Tuple& tuple, ConjId cond) {
+  if (impl_->state.aborted) return false;
+  return Insert(impl_->state, pred, tuple, cond);
+}
+
+void ConditionedFixpoint::SeedTable(int pred, const CTable& table) {
+  EvalState& state = impl_->state;
+  for (const CRow& row : table.rows()) {
+    if (state.aborted) break;
+    Insert(state, pred, row.tuple, row.LocalId(*state.interner));
   }
-  // Empty-body rules are ground facts: fire them once, into the first delta
-  // (the semi-naive loop only enumerates rules through their body atoms).
-  for (const DatalogRule& rule : program.rules()) {
+}
+
+void ConditionedFixpoint::FireGroundRules() {
+  EvalState& state = impl_->state;
+  // Empty-body rules are ground facts: the fixpoint loops only enumerate
+  // rules through their body atoms, so these fire here, into the pending
+  // delta.
+  for (const DatalogRule& rule : impl_->program->rules()) {
     if (state.aborted) break;
     if (rule.body.empty()) FireRule(state, rule, /*delta_pos=*/-1);
   }
-  AdvanceDeltas(state);
+}
 
-  if (options.semi_naive) {
+void ConditionedFixpoint::Run() {
+  EvalState& state = impl_->state;
+  // Rows seeded (or ground-fired) since the last convergence sit past every
+  // delta window; advancing makes them the pending delta, so a re-entered
+  // run fires rules only against combinations involving the new rows.
+  AdvanceDeltas(state);
+  if (impl_->semi_naive) {
     bool changed = true;
     while (changed && !state.aborted) {
       changed = false;
       ++state.stats.rounds;
-      for (const DatalogRule& rule : program.rules()) {
+      for (const DatalogRule& rule : impl_->program->rules()) {
         for (size_t pos = 0; pos < rule.body.size() && !state.aborted;
              ++pos) {
           const PredState& ps = state.preds[rule.body[pos].predicate];
@@ -330,33 +413,141 @@ CDatabase DatalogOnCTables(const DatalogProgram& program,
     while (changed && !state.aborted) {
       changed = false;
       ++state.stats.rounds;
-      for (const DatalogRule& rule : program.rules()) {
+      for (const DatalogRule& rule : impl_->program->rules()) {
         if (state.aborted) break;
         changed |= FireRule(state, rule, /*delta_pos=*/-1);
       }
     }
   }
+}
+
+void ConditionedFixpoint::ClearPredicate(int pred) {
+  PredState& ps = impl_->state.preds[pred];
+  ps.rows.clear();
+  ps.by_tuple.clear();
+  ps.delta_begin = 0;
+  ps.delta_end = 0;
+  // Dropping the entries would suffice today; the stamp bump additionally
+  // guards any future path that re-creates an entry before the rows regrow
+  // past their old count.
+  ps.indexes.Clear();
+  ++ps.stamp;
+}
+
+void ConditionedFixpoint::RunCone(const std::vector<bool>& cone_heads) {
+  EvalState& state = impl_->state;
+  assert(cone_heads.size() == state.preds.size());
+  // Every current row becomes the pending delta: with the window at
+  // [0, rows.size()), a rule's delta_pos=0 firing enumerates exactly the
+  // combinations a fresh first round would (earlier-position windows are
+  // empty), so cleared predicates re-derive from the surviving state.
+  for (PredState& ps : state.preds) {
+    ps.delta_begin = 0;
+    ps.delta_end = ps.rows.size();
+    state.stats.delta_rows += ps.delta_end;
+  }
+  // The cone's ground facts first: ClearPredicate dropped them along with
+  // everything else, and only body atoms drive the loops below.
+  for (const DatalogRule& rule : impl_->program->rules()) {
+    if (state.aborted) break;
+    if (rule.body.empty() && cone_heads[rule.head.predicate]) {
+      FireRule(state, rule, /*delta_pos=*/-1);
+    }
+  }
+  // Only cone-head rules fire: the cone is closed under head-reachability,
+  // so a rule with a non-cone head has no cone predicate in its body — its
+  // derivations are all still present and re-firing it could add nothing.
+  if (impl_->semi_naive) {
+    bool changed = true;
+    while (changed && !state.aborted) {
+      changed = false;
+      ++state.stats.rounds;
+      for (const DatalogRule& rule : impl_->program->rules()) {
+        if (!cone_heads[rule.head.predicate]) continue;
+        for (size_t pos = 0; pos < rule.body.size() && !state.aborted;
+             ++pos) {
+          const PredState& ps = state.preds[rule.body[pos].predicate];
+          if (ps.delta_begin == ps.delta_end) continue;
+          changed |= FireRule(state, rule, static_cast<int>(pos));
+        }
+      }
+      AdvanceDeltas(state);
+    }
+  } else {
+    bool changed = true;
+    while (changed && !state.aborted) {
+      changed = false;
+      ++state.stats.rounds;
+      for (const DatalogRule& rule : impl_->program->rules()) {
+        if (state.aborted) break;
+        if (!cone_heads[rule.head.predicate]) continue;
+        changed |= FireRule(state, rule, /*delta_pos=*/-1);
+      }
+    }
+    AdvanceDeltas(state);
+  }
+}
+
+CTable ConditionedFixpoint::Export(int pred) const {
+  const EvalState& state = impl_->state;
+  CTable t(impl_->program->arity(pred));
+  for (const IRow& row : state.preds[pred].rows) {
+    // Resolving through AddRow's interned overload seeds each row's id
+    // cache, so downstream consumers start from the id.
+    if (row.alive) t.AddRow(*row.tuple, row.cond, *state.interner);
+  }
+  return t;
+}
+
+size_t ConditionedFixpoint::NumLiveRows(int pred) const {
+  size_t n = 0;
+  for (const IRow& row : impl_->state.preds[pred].rows) {
+    if (row.alive) ++n;
+  }
+  return n;
+}
+
+bool ConditionedFixpoint::aborted() const { return impl_->state.aborted; }
+
+const ConditionedFixpointStats& ConditionedFixpoint::stats() const {
+  impl_->state.stats.interner_conjunctions =
+      impl_->state.interner->num_conjunctions() - impl_->interner_baseline;
+  return impl_->state.stats;
+}
+
+CDatabase DatalogOnCTables(const DatalogProgram& program,
+                           const CDatabase& database,
+                           ConditionedFixpointStats* stats,
+                           const DatalogCTableOptions& options) {
+  ConditionInterner& interner = options.interner != nullptr
+                                    ? *options.interner
+                                    : ConditionInterner::Global();
+  // Intern the global before constructing the fixpoint so the stats'
+  // interner growth covers only the evaluation itself.
+  ConjId global_id = database.CombinedGlobalId(interner);
+  ConditionedFixpoint fix(program, options);
+  fix.SetGlobal(global_id);
+
+  // Seed extensional predicates with the input rows; the seeds form the
+  // first delta.
+  for (size_t p = 0; p < program.num_edb() && p < database.num_tables();
+       ++p) {
+    fix.SeedTable(static_cast<int>(p), database.table(p));
+  }
+  fix.FireGroundRules();
+  fix.Run();
 
   CDatabase out;
   for (size_t p = 0; p < program.num_predicates(); ++p) {
-    CTable t(program.arity(static_cast<int>(p)));
-    for (const IRow& row : state.preds[p].rows) {
-      // Resolving through AddRow's interned overload seeds each row's id
-      // cache, so downstream consumers start from the id.
-      if (row.alive) t.AddRow(*row.tuple, row.cond, interner);
-    }
+    CTable t = fix.Export(static_cast<int>(p));
     // The carried global keeps the input's materialized form; its id cache
     // is seeded from the already-interned combined id.
     if (p == 0) {
-      t.SetGlobal(database.CombinedGlobal(), state.global_id, interner);
+      t.SetGlobal(database.CombinedGlobal(), global_id, interner);
     }
     out.AddTable(std::move(t));
   }
-  if (stats != nullptr) {
-    state.stats.interner_conjunctions =
-        interner.num_conjunctions() - interner_size_before;
-    *stats = state.stats;
-  }
+  if (stats != nullptr) *stats = fix.stats();
   return out;
 }
 
@@ -390,22 +581,23 @@ bool Covers(const Tuple& a_tuple, ConjId a_cond, const Tuple& b_tuple,
   return true;
 }
 
-/// Restricts a predicate's c-table to a goal binding: rows whose tuple
-/// clashes with a bound constant are dropped, matching a bound constant
-/// against a non-constant term conjoins the equality onto the row's
-/// condition, rows unsatisfiable together with `global_id` are dropped,
-/// every tuple term is resolved to its representative under the condition's
-/// forced equalities (the interner's canonical form emits one
+}  // namespace
+
+/// Rows whose tuple clashes with a bound constant are dropped, matching a
+/// bound constant against a non-constant term conjoins the equality onto the
+/// row's condition, rows unsatisfiable together with `global_id` are
+/// dropped, every tuple term is resolved to its representative under the
+/// condition's forced equalities (the interner's canonical form emits one
 /// `rep = member` atom per class membership, `rep` on the left, so a bound
 /// null position becomes the goal constant), and only rows not covered by
 /// another row survive. Resolution plus the covering antichain make the
 /// result canonical: mutually covering rows have equal condition ids and
 /// therefore identical resolved tuples, so insertion order cannot matter —
-/// which is exactly why the magic and full paths restrict to *identical*
-/// row sets.
-CTable RestrictToGoal(const CTable& table,
-                      const std::vector<std::optional<ConstId>>& bindings,
-                      ConjId global_id, ConditionInterner& interner) {
+/// which is exactly why the magic and full paths (and a maintained view and
+/// its recomputation) restrict to *identical* row sets.
+CTable RestrictTableToGoal(const CTable& table,
+                           const std::vector<std::optional<ConstId>>& bindings,
+                           ConjId global_id, ConditionInterner& interner) {
   std::vector<RestrictedRow> rows;
 
   for (const CRow& row : table.rows()) {
@@ -458,8 +650,6 @@ CTable RestrictToGoal(const CTable& table,
   return out;
 }
 
-}  // namespace
-
 CTable DatalogQueryOnCTables(const DatalogProgram& program,
                              const CDatabase& database, int goal,
                              const std::vector<std::optional<ConstId>>& bindings,
@@ -485,8 +675,8 @@ CTable DatalogQueryOnCTables(const DatalogProgram& program,
     fixpoint = DatalogOnCTables(program, database, &local, inner);
     goal_table = static_cast<size_t>(goal);
   }
-  CTable result = RestrictToGoal(fixpoint.table(goal_table), bindings,
-                                 global_id, interner);
+  CTable result = RestrictTableToGoal(fixpoint.table(goal_table), bindings,
+                                      global_id, interner);
   result.SetGlobal(database.CombinedGlobal(), global_id, interner);
   if (stats != nullptr) *stats = local;
   return result;

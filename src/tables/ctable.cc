@@ -66,6 +66,16 @@ void CTable::AddRow(CRow row) {
   rows_.push_back(std::move(row));
 }
 
+void CTable::ReplaceRows(std::vector<CRow> rows) {
+#ifndef NDEBUG
+  for (const CRow& row : rows) {
+    assert(static_cast<int>(row.tuple.size()) == arity_);
+  }
+#endif
+  rows_ = std::move(rows);
+  ++rows_stamp_;  // wholesale replacement: any cached index must rebuild
+}
+
 const TupleIndex& CTable::Index(const std::vector<int>& columns,
                                 bool* built, bool* extended) const {
   if (indexes_ == nullptr) indexes_ = std::make_unique<TupleIndexCache>();

@@ -150,6 +150,13 @@ class CTable {
   /// rows between tables unchanged (union, relation refs).
   void AddRow(CRow row);
 
+  /// Replaces the row storage wholesale. Bumps the index stamp, so cached
+  /// tuple indexes rebuild on next use — unlike AddRow appends, which let
+  /// them extend incrementally. The in-place update path (tables/updates.h)
+  /// uses this only when a delete actually rewrites rows; untouched tables
+  /// keep their caches.
+  void ReplaceRows(std::vector<CRow> rows);
+
   /// Replaces the global condition.
   void SetGlobal(Conjunction global) {
     global_ = std::move(global);

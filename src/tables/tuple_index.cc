@@ -94,8 +94,11 @@ const TupleIndex& TupleIndexCache::Get(const std::vector<int>& columns,
     it = entries_.emplace(columns, Entry{TupleIndex(columns), stamp}).first;
   }
   Entry& entry = it->second;
-  if (!built && entry.stamp != stamp) {
-    // The owner replaced its rows wholesale: rebuild from scratch.
+  if (!built && (entry.stamp != stamp ||
+                 entry.index.num_rows_indexed() > num_rows)) {
+    // The owner replaced its rows wholesale (stamp change), or shrank below
+    // what was indexed (an over-delete that reused the stamp): rebuild from
+    // scratch — extending an over-full index would hand out stale row ids.
     entry = Entry{TupleIndex(columns), stamp};
     built = true;
   }

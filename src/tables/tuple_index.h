@@ -134,8 +134,10 @@ class TupleIndexCache {
   using TupleFn = std::function<const Tuple&(size_t)>;
 
   /// The up-to-date index on `columns` over rows [0, num_rows). Builds it on
-  /// first use, rebuilds if `stamp` changed since the entry was built, and
-  /// extends it if rows were appended. The reference stays valid until
+  /// first use, rebuilds if `stamp` changed since the entry was built (or if
+  /// `num_rows` shrank below what was indexed — an extend can only append,
+  /// so a shrunken owner forces a rebuild rather than serving stale ids),
+  /// and extends it if rows were appended. The reference stays valid until
   /// `Clear` (later `Get`s may mutate the index's contents, so snapshot
   /// candidate lists before re-entering the cache).
   const TupleIndex& Get(const std::vector<int>& columns, size_t num_rows,

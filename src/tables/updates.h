@@ -12,25 +12,100 @@
 // position — the row survives exactly in the worlds where it differs from
 // f somewhere. Conditions stay conjunctions, so the result remains a
 // c-table of the same class-or-higher.
+//
+// The naive per-position expansion over-produces: a guarded copy whose
+// condition contradicts the row's forced equalities (or the table's global
+// condition) holds in no world, and sibling copies frequently subsume each
+// other (e.g. deleting (1,1) from the row (x,x) emits the guard x != 1
+// twice). The default path prunes both through the interner — unsatisfiable
+// copies are dropped, and per source row only the antichain of weakest
+// guard conditions survives — which preserves rep() exactly and keeps
+// repeated deletes idempotent at the row level. The plain expansion stays
+// available behind `UpdateOptions{.use_interner = false}` as the
+// differential baseline.
+//
+// Two API families:
+//   - the copy-based `InsertFact`/`DeleteFact`/`InsertFactIf` return a new
+//     table (the seed behavior);
+//   - the `*InPlace` variants mutate the table, preserving its cached
+//     tuple indexes and per-row interned ids wherever possible (appends
+//     extend the index cache; a delete that touches no row keeps every
+//     cache; only a delete that actually rewrites rows forces a rebuild),
+//     and report the row-level delta — the input incremental view
+//     maintenance (datalog/ivm.h) runs on.
 
 #ifndef PW_TABLES_UPDATES_H_
 #define PW_TABLES_UPDATES_H_
 
+#include <vector>
+
+#include "condition/interner.h"
 #include "tables/ctable.h"
 
 namespace pw {
+
+/// Knobs for the update path.
+struct UpdateOptions {
+  /// True (the default) prunes guarded deletion copies through the interner:
+  /// copies unsatisfiable together with the row's local and the table's
+  /// global condition are dropped, and per source row only the antichain of
+  /// weakest conditions survives (memoized Implies). Conditional inserts
+  /// whose condition cannot hold with the global condition are skipped.
+  /// False keeps the plain per-position expansion — the differential
+  /// baseline, which represents the same worlds with redundant rows.
+  bool use_interner = true;
+
+  /// Interner override; null uses ConditionInterner::Global(). Not
+  /// thread-safe, like every interner use.
+  ConditionInterner* interner = nullptr;
+};
 
 /// The table representing { I union {fact} : I in rep(table) }.
 CTable InsertFact(const CTable& table, const Fact& fact);
 
 /// The table representing { I minus {fact} : I in rep(table) }. Row count
-/// grows at most by a factor of the arity.
-CTable DeleteFact(const CTable& table, const Fact& fact);
+/// grows at most by a factor of the arity (less under the default pruning).
+CTable DeleteFact(const CTable& table, const Fact& fact,
+                  const UpdateOptions& options = {});
 
 /// Conditional insertion: the fact is present exactly in the worlds whose
 /// valuations satisfy `condition` (in addition to the global condition).
 CTable InsertFactIf(const CTable& table, const Fact& fact,
-                    const Conjunction& condition);
+                    const Conjunction& condition,
+                    const UpdateOptions& options = {});
+
+/// In-place insertion: appends the unconditioned ground row. The table's
+/// cached tuple indexes extend on next use instead of rebuilding.
+void InsertFactInPlace(CTable& table, const Fact& fact);
+
+/// In-place conditional insertion. Under the default options a condition
+/// that cannot hold together with the table's global condition adds no row
+/// (the fact would be present in no world). Returns true iff a row was
+/// appended.
+bool InsertFactIfInPlace(CTable& table, const Fact& fact,
+                         const Conjunction& condition,
+                         const UpdateOptions& options = {});
+
+/// The row-level delta of an in-place deletion, in terms of (tuple, local
+/// condition) rows. `kept` rows passed through unchanged; `removed` rows
+/// were dropped or replaced by guarded copies; `added` holds those copies.
+/// A row whose guarded copies collapse back onto it (the guard is implied
+/// by its own condition) counts as kept, not as removed-and-re-added.
+struct DeleteDelta {
+  std::vector<CRow> kept;
+  std::vector<CRow> removed;
+  std::vector<CRow> added;
+  /// True iff the table was rewritten (removed or added is nonempty).
+  bool changed = false;
+};
+
+/// In-place deletion: rewrites the table to represent
+/// { I minus {fact} : I in rep(table) } and reports the row-level delta.
+/// When no row can match the fact the table (and all its caches) is left
+/// untouched; otherwise the rows are replaced wholesale and cached indexes
+/// rebuild on next use.
+DeleteDelta DeleteFactInPlace(CTable& table, const Fact& fact,
+                              const UpdateOptions& options = {});
 
 }  // namespace pw
 

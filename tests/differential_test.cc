@@ -44,8 +44,19 @@
 //     represented worlds.
 //
 //  5. Updates — randomized Insert/Delete/InsertFactIf sequences must act
-//     pointwise on the represented worlds, including when a DATALOG view is
-//     then evaluated over the updated table on both fixpoint strategies.
+//     pointwise on the represented worlds, on both the default
+//     interner-pruned deletion path and the plain guarded-copy expansion,
+//     including when a DATALOG view is then evaluated over the updated
+//     table on both fixpoint strategies.
+//
+//  6. Incremental view maintenance — a MaterializedView (datalog/ivm.h)
+//     driven through randomized interleavings of inserts, conditional
+//     inserts, and deletes must stay *identical* — same tuples, same
+//     interned condition ids — to recomputing the fixpoint from scratch on
+//     its updated base, across the semi-naive/naive/scan option combos and
+//     for magic-set demand views (Answers() vs DatalogQueryOnCTables), with
+//     a second program evaluated over the maintained output as a nested
+//     downstream consumer.
 
 #include <gtest/gtest.h>
 
@@ -57,6 +68,7 @@
 #include <vector>
 
 #include "datalog/eval.h"
+#include "datalog/ivm.h"
 #include "decision/possibility.h"
 #include "decision/view.h"
 #include "ilalgebra/ctable_eval.h"
@@ -968,6 +980,21 @@ CTable ApplyUpdate(const CTable& table, const RandomUpdate& update) {
   return table;
 }
 
+/// The same update through the plain guarded-copy expansion — the
+/// differential baseline for the default interner-pruned path.
+CTable ApplyUpdatePlain(const CTable& table, const RandomUpdate& update) {
+  UpdateOptions plain{.use_interner = false};
+  switch (update.kind) {
+    case RandomUpdate::kInsert:
+      return InsertFact(table, update.fact);
+    case RandomUpdate::kDelete:
+      return DeleteFact(table, update.fact, plain);
+    case RandomUpdate::kInsertIf:
+      return InsertFactIf(table, update.fact, update.condition, plain);
+  }
+  return table;
+}
+
 /// The per-world meaning of one update under valuation `v`.
 Relation ApplyUpdateToWorld(const Relation& world, const RandomUpdate& update,
                             const Valuation& v) {
@@ -1008,10 +1035,12 @@ TEST_P(UpdateDifferentialTest, UpdateSequencesActPointwiseOnWorlds) {
     std::uniform_int_distribution<int> num_updates(1, 3);
     std::vector<RandomUpdate> updates;
     CTable updated = t;
+    CTable updated_plain = t;
     int n = num_updates(rng);
     for (int u = 0; u < n; ++u) {
       updates.push_back(DrawUpdate(rng, kConstants, kVariables));
       updated = ApplyUpdate(updated, updates.back());
+      updated_plain = ApplyUpdatePlain(updated_plain, updates.back());
     }
 
     // Enumerate over the whole variable pool: deleting a fully-ground row
@@ -1028,8 +1057,9 @@ TEST_P(UpdateDifferentialTest, UpdateSequencesActPointwiseOnWorlds) {
       carrier.AddRow(Tuple{V(var)});
     }
     CDatabase updated_db{updated};
-    CDatabase joint(std::vector<CTable>{t, updated, carrier});
+    CDatabase joint(std::vector<CTable>{t, updated, updated_plain, carrier});
     bool all_match = true;
+    bool plain_match = true;
     ForEachSatisfyingValuation(joint, wopts, [&](const Valuation& v) {
       Relation expected = v.Apply(t);
       for (const RandomUpdate& update : updates) {
@@ -1039,9 +1069,17 @@ TEST_P(UpdateDifferentialTest, UpdateSequencesActPointwiseOnWorlds) {
         all_match = false;
         return false;
       }
+      // The plain expansion carries redundant rows but must represent the
+      // very same worlds as the pruned path.
+      if (v.Apply(updated_plain) != expected) {
+        plain_match = false;
+        return false;
+      }
       return true;
     });
     EXPECT_TRUE(all_match) << FormatCTable(t) << FormatCTable(updated);
+    EXPECT_TRUE(plain_match)
+        << FormatCTable(t) << FormatCTable(updated_plain);
 
     // A DATALOG view over the updated table: both strategies, same rows,
     // correct worlds.
@@ -1069,6 +1107,133 @@ TEST_P(UpdateDifferentialTest, UpdateSequencesActPointwiseOnWorlds) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, UpdateDifferentialTest,
                          ::testing::Range(0, 25));
+
+// --- Incremental view maintenance -------------------------------------------
+
+/// Routes one randomized update through a maintained view's update API.
+void ApplyUpdateToView(MaterializedView& view, int pred,
+                       const RandomUpdate& update) {
+  switch (update.kind) {
+    case RandomUpdate::kInsert:
+      view.Insert(pred, update.fact);
+      break;
+    case RandomUpdate::kDelete:
+      view.Delete(pred, update.fact);
+      break;
+    case RandomUpdate::kInsertIf:
+      view.InsertIf(pred, update.fact, update.condition);
+      break;
+  }
+}
+
+class IvmDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IvmDifferentialTest, MaintainedViewsStayIdenticalToRecompute) {
+  // 20 parameter seeds x 3 rounds: random programs (alternating one and two
+  // extensional predicates) over random c-tables, driven through 3-5
+  // randomized updates. After *every* update, each maintained view —
+  // semi-naive, naive, and scan-joined full views plus a magic-set demand
+  // view — must be identical (same tuples, same interned condition ids, up
+  // to row order) to recomputing its program from scratch on its updated
+  // base. This is the IVM invariant: the covered-delete fast path, the cone
+  // over-delete/re-derive, and resumed semi-naive rounds may never leave a
+  // stale row or a stronger-than-necessary condition behind.
+  const unsigned case_seed = 10000 + static_cast<unsigned>(GetParam());
+  PW_DIFF_CASE(case_seed);
+  std::mt19937 rng(case_seed);
+  constexpr int kConstants = 3;
+  constexpr int kVariables = 2;
+  for (int round = 0; round < 3; ++round) {
+    const int num_edb = 1 + (round % 2);
+    DatalogProgram program = RandomDatalogProgram(rng, num_edb);
+    RandomCTableOptions options = testutil::SmallCTableOptions(
+        /*arity=*/2, /*num_rows=*/2, /*num_constants=*/kConstants,
+        /*num_variables=*/kVariables,
+        /*num_local_atoms=*/GetParam() % 2,
+        /*num_global_atoms=*/GetParam() % 2);
+    std::vector<CTable> tables;
+    for (int p = 0; p < num_edb; ++p) {
+      tables.push_back(RandomCTable(options, rng));
+    }
+    CDatabase db(tables);
+
+    MaterializedViewOptions semi;
+    MaterializedViewOptions naive;
+    naive.eval.semi_naive = false;
+    MaterializedViewOptions scan;
+    scan.eval.use_index = false;
+    // A vector so growth relocates the views — maintained state must
+    // survive moves.
+    std::vector<MaterializedView> views;
+    views.emplace_back(program, db, semi);
+    views.emplace_back(program, db, naive);
+    views.emplace_back(program, db, scan);
+    DatalogGoal goal{/*predicate=*/num_edb, RandomBindings(rng, 2)};
+    MaterializedView demand(program, db, goal);
+
+    std::uniform_int_distribution<int> num_updates(3, 5);
+    std::uniform_int_distribution<int> pick_pred(0, num_edb - 1);
+    const int n = num_updates(rng);
+    for (int u = 0; u < n; ++u) {
+      RandomUpdate update = DrawUpdate(rng, kConstants, kVariables);
+      const int pred = pick_pred(rng);
+      for (MaterializedView& view : views) {
+        ApplyUpdateToView(view, pred, update);
+      }
+      ApplyUpdateToView(demand, pred, update);
+
+      for (MaterializedView& view : views) {
+        CDatabase maintained = view.Materialized();
+        CDatabase scratch =
+            DatalogOnCTables(view.evaluated_program(), view.base());
+        ASSERT_EQ(maintained.num_tables(), scratch.num_tables());
+        for (size_t p = 0; p < maintained.num_tables(); ++p) {
+          EXPECT_EQ(CanonicalRowSet(maintained.table(p)),
+                    CanonicalRowSet(scratch.table(p)))
+              << "maintained view diverged from recompute on predicate " << p
+              << " after update " << u << "\n"
+              << program.ToString() << FormatCDatabase(view.base());
+        }
+      }
+      CTable answers = demand.Answers();
+      CTable scratch_answers = DatalogQueryOnCTables(
+          program, demand.base(), goal.predicate, goal.bindings);
+      EXPECT_EQ(CanonicalRowSet(answers), CanonicalRowSet(scratch_answers))
+          << "demand view diverged from query-from-scratch with bindings "
+          << BindingsString(goal.bindings) << " after update " << u << "\n"
+          << program.ToString() << FormatCDatabase(demand.base());
+    }
+
+    // Nested consumption: a second program (transitive closure) evaluated
+    // over the maintained IDB output must match the same program over the
+    // recomputed output — maintained views compose downstream.
+    DatalogProgram tc({2, 2}, /*num_edb=*/1);
+    DatalogRule base;
+    base.head = {1, Tuple{V(100), V(101)}};
+    base.body = {{0, Tuple{V(100), V(101)}}};
+    tc.AddRule(base);
+    DatalogRule step;
+    step.head = {1, Tuple{V(100), V(102)}};
+    step.body = {{1, Tuple{V(100), V(101)}}, {0, Tuple{V(101), V(102)}}};
+    tc.AddRule(step);
+    CDatabase maintained = views[0].Materialized();
+    CDatabase scratch = DatalogOnCTables(program, views[0].base());
+    CDatabase over_maintained =
+        DatalogOnCTables(tc, CDatabase{maintained.table(num_edb)});
+    CDatabase over_scratch =
+        DatalogOnCTables(tc, CDatabase{scratch.table(num_edb)});
+    ASSERT_EQ(over_maintained.num_tables(), over_scratch.num_tables());
+    for (size_t p = 0; p < over_maintained.num_tables(); ++p) {
+      EXPECT_EQ(CanonicalRowSet(over_maintained.table(p)),
+                CanonicalRowSet(over_scratch.table(p)))
+          << "nested program over maintained output diverged on predicate "
+          << p << "\n"
+          << program.ToString() << FormatCDatabase(views[0].base());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IvmDifferentialTest, ::testing::Range(0, 20));
 
 TEST(DifferentialEdgeTest, InternedPathPrunesUnsatisfiableRows) {
   // A select contradicting a row's local condition: the interned path drops

@@ -175,6 +175,47 @@ TEST(TupleIndexCacheTest, StampChangeRebuilds) {
   EXPECT_TRUE(rebuilt.Probe(Tuple{C(1)}).empty());
 }
 
+TEST(TupleIndexCacheTest, ShrinkUnderSameStampRebuilds) {
+  // An owner that dropped rows without bumping its stamp (an over-delete
+  // that cleared and partially regrew its storage): extending would hand
+  // out stale row ids past the new end, so the cache must rebuild from
+  // scratch.
+  std::vector<Tuple> rows = {Tuple{C(1)}, Tuple{C(2)}, Tuple{C(3)}};
+  auto tuple_of = [&rows](size_t i) -> const Tuple& { return rows[i]; };
+
+  TupleIndexCache cache;
+  cache.Get({0}, rows.size(), /*stamp=*/1, tuple_of);
+  EXPECT_EQ(cache.stats().builds, 1u);
+
+  rows = {Tuple{C(5)}};
+  const TupleIndex& rebuilt = cache.Get({0}, rows.size(), 1, tuple_of);
+  EXPECT_EQ(cache.stats().builds, 2u);
+  EXPECT_EQ(cache.stats().extends, 0u);
+  EXPECT_EQ(rebuilt.num_rows_indexed(), 1u);
+  EXPECT_EQ(rebuilt.Probe(Tuple{C(5)}), (std::vector<size_t>{0}));
+  EXPECT_TRUE(rebuilt.Probe(Tuple{C(2)}).empty());
+}
+
+TEST(CTableIndexTest, ReplaceRowsRebuildsIndexes) {
+  // ReplaceRows swaps the storage wholesale and bumps the stamp: cached
+  // indexes must rebuild over the replacement rows.
+  CTable t = testutil::MakeTable(2,
+      std::vector<Tuple>{{C(1), C(2)}, {C(1), C(3)}});
+  bool built = false, extended = false;
+  t.Index({0}, &built, &extended);
+  ASSERT_TRUE(built);
+
+  std::vector<CRow> replacement;
+  replacement.emplace_back(Tuple{C(7), C(8)});
+  t.ReplaceRows(std::move(replacement));
+  const TupleIndex& index = t.Index({0}, &built, &extended);
+  EXPECT_TRUE(built);
+  EXPECT_FALSE(extended);
+  EXPECT_EQ(index.num_rows_indexed(), 1u);
+  EXPECT_EQ(index.Probe(Tuple{C(7)}), (std::vector<size_t>{0}));
+  EXPECT_TRUE(index.Probe(Tuple{C(1)}).empty());
+}
+
 TEST(CTableIndexTest, BuiltOnceAndReusedAcrossQueries) {
   CTable t = testutil::MakeTable(
       2, std::vector<Tuple>{{C(1), C(2)}, {C(2), C(3)}, {V(0), C(3)}});

@@ -12,6 +12,8 @@ each fast-path benchmark with its seed-path twin by name:
                                               binary-only fusion baseline)
     *_Magic/N          vs  *_FullFixpoint/N  (magic-set demand evaluation vs
                                               full fixpoint + restriction)
+    *_Incremental/N    vs  *_Recompute/N     (maintained materialized view vs
+                                              full fixpoint per update)
 
 Exits nonzero when any fast path takes more than --max-ratio times its seed
 pair (default 2.0, the CI regression budget), or when no pair was found at
@@ -24,7 +26,8 @@ import sys
 
 PAIRS = [("SemiNaive", "Naive"), ("InternedPath", "SeedPath"),
          ("HashJoin", "NestedLoop"), ("IndexedJoin", "ScanJoin"),
-         ("PlannedJoin", "BinaryFusion"), ("Magic", "FullFixpoint")]
+         ("PlannedJoin", "BinaryFusion"), ("Magic", "FullFixpoint"),
+         ("Incremental", "Recompute")]
 
 
 def load_times(paths):
