@@ -47,9 +47,17 @@ void MaterializedView::Initialize() {
   fix_->Run();
 }
 
+bool MaterializedView::ValidBasePred(int pred) const {
+  // Unconditional (not assert-only): these are the public update entry
+  // points, and an out-of-range predicate would otherwise index base_ and
+  // the fixpoint state out of bounds in NDEBUG builds.
+  return pred >= 0 && static_cast<size_t>(pred) < evaluated_->num_edb() &&
+         static_cast<size_t>(pred) < base_.num_tables();
+}
+
 void MaterializedView::Insert(int pred, const Fact& fact) {
-  assert(pred >= 0 && static_cast<size_t>(pred) < evaluated_->num_edb() &&
-         static_cast<size_t>(pred) < base_.num_tables());
+  assert(ValidBasePred(pred));
+  if (!ValidBasePred(pred)) return;
   ++stats_.updates_applied;
   InsertFactInPlace(base_.mutable_table(static_cast<size_t>(pred)), fact);
   if (fix_->Seed(pred, ToTuple(fact), ConditionInterner::kTrueConj)) {
@@ -62,8 +70,8 @@ void MaterializedView::Insert(int pred, const Fact& fact) {
 
 bool MaterializedView::InsertIf(int pred, const Fact& fact,
                                 const Conjunction& condition) {
-  assert(pred >= 0 && static_cast<size_t>(pred) < evaluated_->num_edb() &&
-         static_cast<size_t>(pred) < base_.num_tables());
+  assert(ValidBasePred(pred));
+  if (!ValidBasePred(pred)) return false;
   ++stats_.updates_applied;
   ConditionInterner& interner = fix_->interner();
   UpdateOptions update{.use_interner = true, .interner = &interner};
@@ -79,8 +87,8 @@ bool MaterializedView::InsertIf(int pred, const Fact& fact,
 }
 
 void MaterializedView::Delete(int pred, const Fact& fact) {
-  assert(pred >= 0 && static_cast<size_t>(pred) < evaluated_->num_edb() &&
-         static_cast<size_t>(pred) < base_.num_tables());
+  assert(ValidBasePred(pred));
+  if (!ValidBasePred(pred)) return;
   ++stats_.updates_applied;
   ConditionInterner& interner = fix_->interner();
   UpdateOptions update{.use_interner = true, .interner = &interner};

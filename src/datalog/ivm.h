@@ -105,7 +105,9 @@ class MaterializedView {
   MaterializedView& operator=(MaterializedView&&) noexcept = default;
 
   /// Inserts the unconditioned ground fact into base predicate `pred` and
-  /// folds the insertion forward through the view.
+  /// folds the insertion forward through the view. An out-of-range `pred`
+  /// (not a base/EDB predicate) is a no-op in all build modes (asserts in
+  /// debug); the same holds for InsertIf (returns false) and Delete.
   void Insert(int pred, const Fact& fact);
 
   /// Conditional insertion (rep-wise: the fact joins exactly the worlds
@@ -151,6 +153,9 @@ class MaterializedView {
 
  private:
   void Initialize();
+  /// True iff `pred` names a base (EDB) predicate with a backing table —
+  /// the unconditional precondition of the public update entry points.
+  bool ValidBasePred(int pred) const;
   /// Head predicates transitively derivable from `pred` (reachability over
   /// rule head<-body dependencies, closed), as a num_predicates mask.
   std::vector<bool> ConeOf(int pred) const;

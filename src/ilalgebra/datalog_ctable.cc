@@ -437,6 +437,19 @@ void ConditionedFixpoint::ClearPredicate(int pred) {
 void ConditionedFixpoint::RunCone(const std::vector<bool>& cone_heads) {
   EvalState& state = impl_->state;
   assert(cone_heads.size() == state.preds.size());
+  // The cone's ground facts first: ClearPredicate dropped them along with
+  // everything else, and only body atoms drive the loops below. They must
+  // land BEFORE the windows are snapshotted — fired after, they would sit
+  // past delta_end, and a first round that derives nothing else would exit
+  // without ever advancing them into a window, losing every derivation
+  // that joins through them (the next Run()'s leading AdvanceDeltas would
+  // discard the pending rows).
+  for (const DatalogRule& rule : impl_->program->rules()) {
+    if (state.aborted) break;
+    if (rule.body.empty() && cone_heads[rule.head.predicate]) {
+      FireRule(state, rule, /*delta_pos=*/-1);
+    }
+  }
   // Every current row becomes the pending delta: with the window at
   // [0, rows.size()), a rule's delta_pos=0 firing enumerates exactly the
   // combinations a fresh first round would (earlier-position windows are
@@ -445,14 +458,6 @@ void ConditionedFixpoint::RunCone(const std::vector<bool>& cone_heads) {
     ps.delta_begin = 0;
     ps.delta_end = ps.rows.size();
     state.stats.delta_rows += ps.delta_end;
-  }
-  // The cone's ground facts first: ClearPredicate dropped them along with
-  // everything else, and only body atoms drive the loops below.
-  for (const DatalogRule& rule : impl_->program->rules()) {
-    if (state.aborted) break;
-    if (rule.body.empty() && cone_heads[rule.head.predicate]) {
-      FireRule(state, rule, /*delta_pos=*/-1);
-    }
   }
   // Only cone-head rules fire: the cone is closed under head-reachability,
   // so a rule with a non-cone head has no cone predicate in its body — its

@@ -208,6 +208,48 @@ TEST(IvmTest, GroundRuleFactsSurviveConeRebuild) {
   EXPECT_TRUE(HasTuple(view.Materialized().table(1), Tuple{C(8), C(8)}));
 }
 
+TEST(IvmTest, RuleJoiningThroughConeGroundFactSurvivesEmptyRebuild) {
+  // P(8,8). ; P(x,y) :- edge(x,y). ; Q(x,y) :- P(x,y). Deleting the only
+  // edge leaves the rebuild's first semi-naive round with nothing to derive
+  // from the base table, so the re-fired ground fact must already sit
+  // inside the first delta window — fired after the windows are
+  // snapshotted, it never becomes a delta and Q loses every row joining
+  // through it (the RunCone ordering regression).
+  DatalogProgram p({2, 2, 2}, /*num_edb=*/1);
+  DatalogRule fact_rule;
+  fact_rule.head = {1, Tuple{C(8), C(8)}};
+  p.AddRule(fact_rule);
+  DatalogRule base;
+  base.head = {1, Tuple{V(100), V(101)}};
+  base.body = {{0, Tuple{V(100), V(101)}}};
+  p.AddRule(base);
+  DatalogRule through;
+  through.head = {2, Tuple{V(100), V(101)}};
+  through.body = {{1, Tuple{V(100), V(101)}}};
+  p.AddRule(through);
+  MaterializedView view(p, Chain(2));  // a single edge (0,1)
+  view.Delete(0, Fact{0, 1});          // base now empty
+  EXPECT_EQ(view.stats().cone_rebuilds, 1u);
+  ExpectMatchesRecompute(view);
+  EXPECT_TRUE(HasTuple(view.Materialized().table(2), Tuple{C(8), C(8)}));
+}
+
+#ifdef NDEBUG
+TEST(IvmTest, OutOfRangePredicateUpdateIsNoOp) {
+  // The public update API must range-check unconditionally: in release
+  // builds the asserts are compiled out, and an out-of-range predicate
+  // would otherwise index the base and fixpoint state out of bounds.
+  // (Debug builds assert instead, so this only runs under NDEBUG.)
+  MaterializedView view(TransitiveClosure(), Chain(3));
+  view.Insert(-1, Fact{0, 1});
+  view.Insert(5, Fact{0, 1});
+  EXPECT_FALSE(view.InsertIf(1, Fact{0, 1}, Conjunction{}));  // IDB pred
+  view.Delete(7, Fact{0, 1});
+  EXPECT_EQ(view.stats().updates_applied, 0u);
+  ExpectMatchesRecompute(view);
+}
+#endif
+
 TEST(IvmTest, VariableRowDeleteStaysIdentical) {
   // Guarded copies produced by deleting through a variable row must seed
   // forward (or rebuild) to exactly the recompute state — the original
