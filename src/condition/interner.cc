@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <utility>
 
 #include "condition/binding_env.h"
@@ -17,19 +18,25 @@ uint64_t NextStamp() {
   return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
+/// The Global() override installed by SetProcessShared().
+std::atomic<ConditionInterner*> process_shared{nullptr};
+
 }  // namespace
 
 void ConditionInterner::InitSentinels() {
   // Reserve the two sentinel ids. kTrueConj is the empty conjunction;
   // kFalseConj materializes as {0 != 0}, the paper's encoding of `false`.
+  // Runs single-threaded (construction / Clear), so storage appends and map
+  // writes need no locks beyond the mode-aware helpers in InternAtom.
   ConjEntry true_entry;
-  conjs_.push_back(std::move(true_entry));
-  canonical_ids_.emplace(std::vector<AtomId>{}, kTrueConj);
+  conjs_.Append(std::move(true_entry));
+  canonical_ids_.ShardFor(IdVecHash{}(std::vector<AtomId>{}))
+      .map.emplace(std::vector<AtomId>{}, kTrueConj);
 
   ConjEntry false_entry;
   false_entry.atoms.push_back(InternAtom(FalseAtom()));
   false_entry.canonical = Conjunction{FalseAtom()};
-  conjs_.push_back(std::move(false_entry));
+  conjs_.Append(std::move(false_entry));
 }
 
 ConditionInterner::ConditionInterner() : stamp_(NextStamp()) {
@@ -37,13 +44,13 @@ ConditionInterner::ConditionInterner() : stamp_(NextStamp()) {
 }
 
 void ConditionInterner::Clear() {
-  atoms_.clear();
-  atom_ids_.clear();
-  conjs_.clear();
-  canonical_ids_.clear();
-  syntactic_ids_.clear();
-  and_cache_.clear();
-  implies_cache_.clear();
+  atoms_.Clear();
+  atom_ids_.ClearAll();
+  conjs_.Clear();
+  canonical_ids_.ClearAll();
+  syntactic_ids_.ClearAll();
+  and_cache_.ClearAll();
+  implies_cache_.ClearAll();
   InitSentinels();
   ++generation_;
   stamp_ = NextStamp();
@@ -60,28 +67,60 @@ std::vector<ConjId> ConditionInterner::RebaseInto(
   return map;
 }
 
+std::vector<AtomId>& ConditionInterner::ScratchKey() {
+  if (!shared()) return scratch_key_;
+  static thread_local std::vector<AtomId> key;
+  return key;
+}
+
+BindingEnv& ConditionInterner::ScratchEnv() {
+  if (!shared()) return scratch_env_;
+  static thread_local BindingEnv env;
+  return env;
+}
+
 AtomId ConditionInterner::InternAtom(const CondAtom& atom) {
-  auto [it, inserted] =
-      atom_ids_.emplace(atom, static_cast<AtomId>(atoms_.size()));
-  if (inserted) atoms_.push_back(atom);
+  auto& shard = atom_ids_.ShardFor(CondAtomHash{}(atom));
+  {
+    auto lock = ReadLock(shard.mutex);
+    auto it = shard.map.find(atom);
+    if (it != shard.map.end()) return it->second;
+  }
+  auto lock = WriteLock(shard.mutex);
+  auto [it, inserted] = shard.map.emplace(atom, AtomId{0});
+  if (inserted) {
+    auto storage = StorageLock(atom_storage_mutex_);
+    it->second = static_cast<AtomId>(atoms_.Append(atom));
+  }
   return it->second;
 }
 
 ConjId ConditionInterner::InternCanonical(std::vector<AtomId> ids) {
-  auto it = canonical_ids_.find(ids);
-  if (it != canonical_ids_.end()) {
-    ++stats_.canonical_hits;
-    return it->second;
+  auto& shard = canonical_ids_.ShardFor(IdVecHash{}(ids));
+  {
+    auto lock = ReadLock(shard.mutex);
+    auto it = shard.map.find(ids);
+    if (it != shard.map.end()) {
+      Bump(&Stats::canonical_hits);
+      return it->second;
+    }
   }
-  ConjId id = static_cast<ConjId>(conjs_.size());
+  // Materialize the entry outside the unique lock (atom resolution is
+  // lock-free), then publish under it — the re-check via emplace keeps ids
+  // unique when two threads canonicalize the same conjunction at once.
   ConjEntry entry;
-  Conjunction canonical;
-  for (AtomId a : ids) canonical.Add(atoms_[a]);
-  entry.canonical = std::move(canonical);
+  for (AtomId a : ids) entry.canonical.Add(atoms_[a]);
   entry.atoms = ids;
-  conjs_.push_back(std::move(entry));
-  canonical_ids_.emplace(std::move(ids), id);
-  return id;
+
+  auto lock = WriteLock(shard.mutex);
+  auto [it, inserted] = shard.map.emplace(std::move(ids), ConjId{0});
+  if (inserted) {
+    auto storage = StorageLock(conj_storage_mutex_);
+    it->second = static_cast<ConjId>(conjs_.Append(std::move(entry)));
+  } else {
+    Bump(&Stats::canonical_hits);
+  }
+  return it->second;
 }
 
 ConjId ConditionInterner::Canonicalize(const Conjunction& conjunction) {
@@ -109,8 +148,9 @@ ConjId ConditionInterner::Canonicalize(const Conjunction& conjunction) {
 
   // Slow path: run the congruence closure in the (capacity-retaining)
   // scratch environment.
-  scratch_env_.Revert(0);
-  if (!scratch_env_.Assert(conjunction)) return kFalseConj;
+  BindingEnv& env = ScratchEnv();
+  env.Revert(0);
+  if (!env.Assert(conjunction)) return kFalseConj;
 
   // Map every variable to its class representative: the class constant if
   // bound, else the least variable of the class (vars is sorted, so the
@@ -125,12 +165,12 @@ ConjId ConditionInterner::Canonicalize(const Conjunction& conjunction) {
   std::vector<Term> reps;
   reps.reserve(vars.size());
   for (VarId v : vars) {
-    if (auto c = scratch_env_.ValueOf(Term::Var(v))) {
+    if (auto c = env.ValueOf(Term::Var(v))) {
       reps.push_back(Term::Const(*c));
       continue;
     }
     for (VarId w : vars) {
-      if (scratch_env_.SameClass(Term::Var(v), Term::Var(w))) {
+      if (env.SameClass(Term::Var(v), Term::Var(w))) {
         reps.push_back(Term::Var(w));
         break;
       }
@@ -173,23 +213,33 @@ ConjId ConditionInterner::Canonicalize(const Conjunction& conjunction) {
 }
 
 ConjId ConditionInterner::Intern(const Conjunction& conjunction) {
-  ++stats_.intern_calls;
+  Bump(&Stats::intern_calls);
   if (conjunction.size() == 0) return kTrueConj;
 
   // The syntactic key is built in a reused scratch buffer so cache hits (the
   // hot case) do no allocation; only a miss copies the key into the map.
-  scratch_key_.clear();
-  scratch_key_.reserve(conjunction.size());
+  std::vector<AtomId>& key = ScratchKey();
+  key.clear();
+  key.reserve(conjunction.size());
   for (const CondAtom& a : conjunction.atoms()) {
-    scratch_key_.push_back(InternAtom(a));
+    key.push_back(InternAtom(a));
   }
-  auto it = syntactic_ids_.find(scratch_key_);
-  if (it != syntactic_ids_.end()) {
-    ++stats_.syntactic_hits;
-    return it->second;
+  auto& shard = syntactic_ids_.ShardFor(IdVecHash{}(key));
+  {
+    auto lock = ReadLock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      Bump(&Stats::syntactic_hits);
+      return it->second;
+    }
   }
+  // Canonicalize without holding the shard lock (the closure interns atoms
+  // and the canonical form, which take their own locks); a concurrent
+  // interner of the same key computes the same id, so the emplace re-check
+  // keeps the map consistent.
   ConjId id = Canonicalize(conjunction);
-  syntactic_ids_.emplace(scratch_key_, id);
+  auto lock = WriteLock(shard.mutex);
+  shard.map.emplace(key, id);
   return id;
 }
 
@@ -199,19 +249,24 @@ ConjId ConditionInterner::And(ConjId a, ConjId b) {
   if (b == kTrueConj) return a;
   if (a == b) return a;
 
-  ++stats_.and_calls;
+  Bump(&Stats::and_calls);
   std::pair<ConjId, ConjId> key{std::min(a, b), std::max(a, b)};
-  auto it = and_cache_.find(key);
-  if (it != and_cache_.end()) {
-    ++stats_.and_hits;
-    return it->second;
+  auto& shard = and_cache_.ShardFor(PairHash{}(key));
+  {
+    auto lock = ReadLock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      Bump(&Stats::and_hits);
+      return it->second;
+    }
   }
   // Conjoining two canonical conjunctions can force fresh congruence merges
   // (e.g. {x = y} AND {y = 3}), so run the full closure on the union.
   Conjunction merged = conjs_[a].canonical;
   merged.AddAll(conjs_[b].canonical);
   ConjId out = Canonicalize(merged);
-  and_cache_.emplace(key, out);
+  auto lock = WriteLock(shard.mutex);
+  shard.map.emplace(key, out);
   return out;
 }
 
@@ -219,7 +274,7 @@ bool ConditionInterner::Implies(ConjId a, ConjId b) {
   if (a == kFalseConj || b == kTrueConj || a == b) return true;
   if (a == kTrueConj || b == kFalseConj) return false;
 
-  ++stats_.implies_calls;
+  Bump(&Stats::implies_calls);
   // Subset fast path: canonical atom-id vectors are sorted by atom value
   // (InternAtom preserves discovery order, but both vectors were built from
   // value-sorted atoms, so a merge walk over atom values works). A superset
@@ -232,37 +287,54 @@ bool ConditionInterner::Implies(ConjId a, ConjId b) {
       if (i < need.size() && need[i] == id) ++i;
     }
     if (i == need.size()) {
-      ++stats_.implies_hits;
+      Bump(&Stats::implies_hits);
       return true;
     }
   }
 
   std::pair<ConjId, ConjId> key{a, b};
-  auto it = implies_cache_.find(key);
-  if (it != implies_cache_.end()) {
-    ++stats_.implies_hits;
-    return it->second;
+  auto& shard = implies_cache_.ShardFor(PairHash{}(key));
+  {
+    auto lock = ReadLock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      Bump(&Stats::implies_hits);
+      return it->second;
+    }
   }
   // Full congruence check: a implies b iff a AND NOT atom is unsatisfiable
   // for every atom of b.
   bool out = true;
-  scratch_env_.Revert(0);
-  if (scratch_env_.Assert(conjs_[a].canonical)) {
+  BindingEnv& env = ScratchEnv();
+  env.Revert(0);
+  if (env.Assert(conjs_[a].canonical)) {
     for (const CondAtom& atom : conjs_[b].canonical.atoms()) {
-      size_t mark = scratch_env_.Mark();
-      bool negation_consistent = scratch_env_.AssertAtom(Negate(atom));
-      scratch_env_.Revert(mark);
+      size_t mark = env.Mark();
+      bool negation_consistent = env.AssertAtom(Negate(atom));
+      env.Revert(mark);
       if (negation_consistent) {
         out = false;
         break;
       }
     }
   }
-  implies_cache_.emplace(key, out);
+  auto lock = WriteLock(shard.mutex);
+  shard.map.emplace(key, out);
   return out;
 }
 
+void ConditionInterner::SetProcessShared(ConditionInterner* interner) {
+  assert(interner == nullptr || interner->shared());
+  process_shared.store(interner, std::memory_order_release);
+}
+
+ConditionInterner* ConditionInterner::ProcessShared() {
+  return process_shared.load(std::memory_order_acquire);
+}
+
 ConditionInterner& ConditionInterner::Global() {
+  ConditionInterner* shared = process_shared.load(std::memory_order_acquire);
+  if (shared != nullptr) return *shared;
   static thread_local ConditionInterner interner;
   return interner;
 }

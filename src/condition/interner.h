@@ -43,23 +43,44 @@
 //     every conjunction into the parent and returns the id translation;
 //     memoized verdicts are preserved (false maps to false, true to true).
 //
-// The interner is not thread-safe; `Global()` returns a thread-local
-// instance so concurrent evaluators never contend. The same goes for the
-// stamped id caches rows and tables carry (CRow::LocalId, CTable::GlobalId):
-// they memoize against one interner's stamp, so the owning objects must not
-// be shared across evaluator threads — hand each thread its own copy.
+// Threading model. By default an interner is single-threaded and `Global()`
+// returns a thread-local instance, so concurrent evaluators never contend.
+// Calling `EnableSharing()` switches one instance into *shared* mode: the
+// unique-tables and the And/Implies memo tables are sharded 16 ways behind
+// per-shard std::shared_mutex (lookups take a shared lock, misses a unique
+// one), element storage moves through lock-free StableStores, and scratch
+// state becomes thread-local — after that, Intern/And/Implies/Resolve and
+// friends are safe from any number of threads. The single-threaded path
+// stays zero-cost: when sharing is off every lock constructs deferred and
+// never touches the mutex. Clear() and RebaseInto() still require external
+// quiescence (no concurrent calls) even in shared mode, and `stats()` stops
+// counting once sharing is enabled (the counters would be a contention
+// point). `SetProcessShared()` installs a shared instance as the process-
+// wide target of `Global()`, which routes the library-internal fast paths
+// (decision procedures, CTable::Normalized) to the shared tables — the
+// serving loop uses this so reader threads and the writer agree on one
+// stamp and warmed row caches stay hits.
+//
+// The stamped id caches rows and tables carry (CRow::LocalId,
+// CTable::GlobalId) are lazily *written* on first use, so sharing a table
+// across threads additionally requires warming those caches first — see
+// CTable::PrepareForSharing.
 
 #ifndef PW_CONDITION_INTERNER_H_
 #define PW_CONDITION_INTERNER_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "condition/atom.h"
 #include "condition/binding_env.h"
 #include "condition/conjunction.h"
+#include "util/stable_store.h"
 
 namespace pw {
 
@@ -149,7 +170,8 @@ class ConditionInterner {
   /// Starts a new generation: drops every interned atom, conjunction, and
   /// pair cache back to the two sentinels (retaining container capacity) and
   /// changes the stamp, invalidating all outstanding ids and stamped caches.
-  /// Stats are not reset.
+  /// Stats are not reset. Requires exclusive access (no concurrent use of
+  /// this interner, even in shared mode).
   void Clear();
 
   /// Re-interns every conjunction of this interner into `dst` and returns
@@ -157,10 +179,30 @@ class ConditionInterner {
   /// denotes here. kTrueConj and kFalseConj map to themselves, so memoized
   /// satisfiability verdicts survive the rebase. Typical use: run a request
   /// against a scratch child interner, then rebase surviving row ids into
-  /// the long-lived parent.
+  /// the long-lived parent. Requires exclusive access to `this`.
   std::vector<ConjId> RebaseInto(ConditionInterner& dst) const;
 
-  /// Cache-effectiveness counters (for benches and tests).
+  // --- Sharing ---------------------------------------------------------------
+
+  /// Switches this instance into shared (thread-safe) mode. Irreversible.
+  /// Must be called before the instance is visible to other threads. After
+  /// this, stats() stops counting (see class comment).
+  void EnableSharing() { shared_.store(true, std::memory_order_release); }
+
+  /// True once EnableSharing() was called.
+  bool shared() const { return shared_.load(std::memory_order_relaxed); }
+
+  /// Installs `interner` (which must be in shared mode) as the process-wide
+  /// result of Global(), overriding the per-thread instances; nullptr
+  /// restores the thread-local default. Callers own the lifetime: reset the
+  /// override before destroying the instance.
+  static void SetProcessShared(ConditionInterner* interner);
+
+  /// The current process-wide override, or nullptr.
+  static ConditionInterner* ProcessShared();
+
+  /// Cache-effectiveness counters (for benches and tests). Frozen (no longer
+  /// updated) once EnableSharing() was called.
   struct Stats {
     uint64_t intern_calls = 0;      // Intern() invocations
     uint64_t syntactic_hits = 0;    // resolved without running closure
@@ -173,8 +215,10 @@ class ConditionInterner {
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = {}; }
 
-  /// The thread-local interner used by the library fast paths
-  /// (EvalOnCTables, Formula::Satisfiable, the decision procedures).
+  /// The interner used by the library fast paths (EvalOnCTables,
+  /// Formula::Satisfiable, the decision procedures): the process-wide shared
+  /// instance if one was installed with SetProcessShared(), else a
+  /// thread-local instance.
   static ConditionInterner& Global();
 
  private:
@@ -201,6 +245,55 @@ class ConditionInterner {
     }
   };
 
+  static constexpr size_t kNumShards = 16;
+
+  /// One lock-striped hash map: lookups under a shared lock, inserts under a
+  /// unique one; in single-threaded mode the locks construct deferred and
+  /// cost nothing. The shard is picked from the key hash the caller already
+  /// computed.
+  template <typename Key, typename Value, typename Hash>
+  struct ShardedMap {
+    struct Shard {
+      mutable std::shared_mutex mutex;
+      std::unordered_map<Key, Value, Hash> map;
+    };
+    Shard shards[kNumShards];
+
+    Shard& ShardFor(size_t hash) { return shards[hash % kNumShards]; }
+    const Shard& ShardFor(size_t hash) const {
+      return shards[hash % kNumShards];
+    }
+    void ClearAll() {
+      for (Shard& s : shards) s.map.clear();
+    }
+  };
+
+  std::shared_lock<std::shared_mutex> ReadLock(std::shared_mutex& m) const {
+    std::shared_lock<std::shared_mutex> lock(m, std::defer_lock);
+    if (shared()) lock.lock();
+    return lock;
+  }
+  std::unique_lock<std::shared_mutex> WriteLock(std::shared_mutex& m) const {
+    std::unique_lock<std::shared_mutex> lock(m, std::defer_lock);
+    if (shared()) lock.lock();
+    return lock;
+  }
+  std::unique_lock<std::mutex> StorageLock(std::mutex& m) const {
+    std::unique_lock<std::mutex> lock(m, std::defer_lock);
+    if (shared()) lock.lock();
+    return lock;
+  }
+
+  /// Stats bump that vanishes in shared mode.
+  void Bump(uint64_t Stats::* counter) {
+    if (!shared()) ++(stats_.*counter);
+  }
+
+  // Scratch selection: the members in single-threaded mode (capacity reuse
+  // per instance), thread-local buffers in shared mode (no contention).
+  std::vector<AtomId>& ScratchKey();
+  BindingEnv& ScratchEnv();
+
   /// Runs the congruence closure on `conjunction` and interns its canonical
   /// form (kFalseConj when unsatisfiable).
   ConjId Canonicalize(const Conjunction& conjunction);
@@ -211,24 +304,31 @@ class ConditionInterner {
   /// Installs the two sentinel entries into empty tables.
   void InitSentinels();
 
-  std::vector<CondAtom> atoms_;
-  std::unordered_map<CondAtom, AtomId, CondAtomHash> atom_ids_;
+  // Element storage: ids index these; lock-free reads, appends serialized by
+  // the storage mutexes (taken only under the owning map's unique lock —
+  // lock order is always map shard, then storage).
+  StableStore<CondAtom> atoms_;
+  StableStore<ConjEntry> conjs_;
+  std::mutex atom_storage_mutex_;
+  std::mutex conj_storage_mutex_;
 
-  std::vector<ConjEntry> conjs_;
+  ShardedMap<CondAtom, AtomId, CondAtomHash> atom_ids_;
   // Canonical sorted atom-id vector -> ConjId.
-  std::unordered_map<std::vector<AtomId>, ConjId, IdVecHash> canonical_ids_;
+  ShardedMap<std::vector<AtomId>, ConjId, IdVecHash> canonical_ids_;
   // Syntactic (pre-closure, order-sensitive) atom-id vector -> ConjId.
-  std::unordered_map<std::vector<AtomId>, ConjId, IdVecHash> syntactic_ids_;
+  ShardedMap<std::vector<AtomId>, ConjId, IdVecHash> syntactic_ids_;
   // Unordered pair (min, max) -> And result.
-  std::unordered_map<std::pair<ConjId, ConjId>, ConjId, PairHash> and_cache_;
+  ShardedMap<std::pair<ConjId, ConjId>, ConjId, PairHash> and_cache_;
   // Ordered pair (a, b) -> whether a implies b.
-  std::unordered_map<std::pair<ConjId, ConjId>, bool, PairHash>
-      implies_cache_;
+  ShardedMap<std::pair<ConjId, ConjId>, bool, PairHash> implies_cache_;
 
-  // Reused scratch state: the syntactic key buffer and the congruence
-  // environment (reverted to empty after each closure, retaining capacity).
+  // Reused scratch state for single-threaded mode: the syntactic key buffer
+  // and the congruence environment (reverted to empty after each closure,
+  // retaining capacity).
   std::vector<AtomId> scratch_key_;
   BindingEnv scratch_env_;
+
+  std::atomic<bool> shared_{false};
 
   uint64_t stamp_ = 0;
   uint64_t generation_ = 0;

@@ -87,8 +87,10 @@ struct MaterializedViewOptions {
 /// updates. Construction runs the initial fixpoint; Insert/InsertIf/Delete
 /// apply an update to the owned base database *and* fold it into the live
 /// state. Move-only; the interner (options or the thread-local global) must
-/// outlive the view, and like every interner client the view is not
-/// thread-safe.
+/// outlive the view, and the view is single-owner: drive it from one
+/// thread. `options.eval.num_threads > 1` (with a shared interner) only
+/// parallelizes the *internal* fixpoint rounds — the maintained state stays
+/// byte-identical to sequential maintenance.
 class MaterializedView {
  public:
   /// Full view: maintains every predicate of `program` over `base`.

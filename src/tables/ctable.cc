@@ -32,7 +32,7 @@ CTable::CTable(const CTable& other)
       global_(other.global_),
       global_id_(other.global_id_),
       global_stamp_(other.global_stamp_),
-      rows_stamp_(other.rows_stamp_) {}
+      rows_stamp_(other.rows_stamp_) {}  // copies thaw: frozen_ stays false
 
 CTable& CTable::operator=(const CTable& other) {
   if (this == &other) return *this;
@@ -43,30 +43,46 @@ CTable& CTable::operator=(const CTable& other) {
   global_stamp_ = other.global_stamp_;
   rows_stamp_ = other.rows_stamp_;
   indexes_.reset();  // rebuilt lazily against the new rows
+  frozen_ = false;
+  warmed_stamp_ = 0;
   return *this;
 }
 
+void CTable::PrepareForSharing(ConditionInterner& interner) {
+  if (frozen_ && warmed_stamp_ == interner.stamp()) return;
+  GlobalId(interner);
+  for (const CRow& row : rows_) row.LocalId(interner);
+  if (indexes_ == nullptr) indexes_ = std::make_unique<IndexState>();
+  frozen_ = true;
+  warmed_stamp_ = interner.stamp();
+}
+
 void CTable::AddRow(Tuple tuple) {
+  assert(!frozen_ && "mutating a table frozen for sharing");
   assert(static_cast<int>(tuple.size()) == arity_);
   rows_.push_back(CRow(std::move(tuple)));
 }
 
 void CTable::AddRow(Tuple tuple, Conjunction local) {
+  assert(!frozen_ && "mutating a table frozen for sharing");
   assert(static_cast<int>(tuple.size()) == arity_);
   rows_.push_back(CRow(std::move(tuple), std::move(local)));
 }
 
 void CTable::AddRow(Tuple tuple, ConjId local, ConditionInterner& interner) {
+  assert(!frozen_ && "mutating a table frozen for sharing");
   assert(static_cast<int>(tuple.size()) == arity_);
   rows_.push_back(CRow(std::move(tuple), local, interner));
 }
 
 void CTable::AddRow(CRow row) {
+  assert(!frozen_ && "mutating a table frozen for sharing");
   assert(static_cast<int>(row.tuple.size()) == arity_);
   rows_.push_back(std::move(row));
 }
 
 void CTable::ReplaceRows(std::vector<CRow> rows) {
+  assert(!frozen_ && "mutating a table frozen for sharing");
 #ifndef NDEBUG
   for (const CRow& row : rows) {
     assert(static_cast<int>(row.tuple.size()) == arity_);
@@ -78,15 +94,21 @@ void CTable::ReplaceRows(std::vector<CRow> rows) {
 
 const TupleIndex& CTable::Index(const std::vector<int>& columns,
                                 bool* built, bool* extended) const {
-  if (indexes_ == nullptr) indexes_ = std::make_unique<TupleIndexCache>();
-  size_t builds_before = indexes_->stats().builds;
-  size_t extends_before = indexes_->stats().extends;
-  const TupleIndex& index = indexes_->Get(
+  // The lazy allocation is single-threaded territory (concurrent readers
+  // only see tables that went through PrepareForSharing, which allocates
+  // eagerly); the cache itself is guarded so concurrent readers can demand
+  // different column sets safely.
+  if (indexes_ == nullptr) indexes_ = std::make_unique<IndexState>();
+  std::lock_guard<std::mutex> lock(indexes_->mutex);
+  TupleIndexCache& cache = indexes_->cache;
+  size_t builds_before = cache.stats().builds;
+  size_t extends_before = cache.stats().extends;
+  const TupleIndex& index = cache.Get(
       columns, rows_.size(), rows_stamp_,
       [this](size_t i) -> const Tuple& { return rows_[i].tuple; });
-  if (built != nullptr) *built = indexes_->stats().builds != builds_before;
+  if (built != nullptr) *built = cache.stats().builds != builds_before;
   if (extended != nullptr) {
-    *extended = indexes_->stats().extends != extends_before;
+    *extended = cache.stats().extends != extends_before;
   }
   return index;
 }
@@ -266,35 +288,53 @@ std::string CTable::ToString(const SymbolTable* symbols) const {
   return out;
 }
 
+CDatabase::CDatabase(std::vector<CTable> tables) {
+  tables_.reserve(tables.size());
+  for (CTable& t : tables) AddTable(std::move(t));
+}
+
+CTable& CDatabase::mutable_table(size_t i) {
+  if (tables_[i].use_count() > 1) {
+    tables_[i] = std::make_shared<CTable>(*tables_[i]);
+  }
+  return *tables_[i];
+}
+
 size_t CDatabase::AddTable(CTable table) {
-  tables_.push_back(std::move(table));
+  tables_.push_back(std::make_shared<CTable>(std::move(table)));
   return tables_.size() - 1;
+}
+
+void CDatabase::PrepareForSharing(ConditionInterner& interner) {
+  for (auto& t : tables_) t->PrepareForSharing(interner);
 }
 
 Conjunction CDatabase::CombinedGlobal() const {
   Conjunction out;
-  for (const CTable& t : tables_) out.AddAll(t.global());
+  for (const auto& t : tables_) out.AddAll(t->global());
   return out;
 }
 
 ConjId CDatabase::CombinedGlobalId(ConditionInterner& interner) const {
   ConjId out = ConditionInterner::kTrueConj;
-  for (const CTable& t : tables_) out = interner.And(out, t.GlobalId(interner));
+  for (const auto& t : tables_) {
+    out = interner.And(out, t->GlobalId(interner));
+  }
   return out;
 }
 
 std::vector<VarId> CDatabase::Variables() const {
   std::set<VarId> seen;
-  for (const CTable& t : tables_) {
-    for (VarId v : t.Variables()) seen.insert(v);
+  for (const auto& t : tables_) {
+    for (VarId v : t->Variables()) seen.insert(v);
   }
   return {seen.begin(), seen.end()};
 }
 
 std::vector<ConstId> CDatabase::Constants() const {
   std::set<ConstId> seen;
-  for (const CTable& t : tables_) {
-    for (ConstId c : t.Constants()) seen.insert(c);
+  for (const auto& t : tables_) {
+    for (ConstId c : t->Constants()) seen.insert(c);
   }
   return {seen.begin(), seen.end()};
 }
@@ -302,20 +342,20 @@ std::vector<ConstId> CDatabase::Constants() const {
 std::vector<int> CDatabase::Arities() const {
   std::vector<int> out;
   out.reserve(tables_.size());
-  for (const CTable& t : tables_) out.push_back(t.arity());
+  for (const auto& t : tables_) out.push_back(t->arity());
   return out;
 }
 
 TableKind CDatabase::Kind() const {
   TableKind worst = TableKind::kCoddTable;
-  for (const CTable& t : tables_) worst = std::max(worst, t.Kind());
+  for (const auto& t : tables_) worst = std::max(worst, t->Kind());
   if (worst < TableKind::kETable && tables_.size() > 1) {
     // A variable shared between tuples of two member tables acts like an
     // incorporated equality, so the database is at least an e-table database.
     std::set<VarId> seen;
-    for (const CTable& t : tables_) {
+    for (const auto& t : tables_) {
       std::set<VarId> mine;
-      for (const CRow& row : t.rows()) {
+      for (const CRow& row : t->rows()) {
         for (const Term& term : row.tuple) {
           if (term.is_variable()) mine.insert(term.variable());
         }
@@ -342,8 +382,8 @@ std::string CDatabase::ToString(const SymbolTable* symbols) const {
   std::string out;
   for (size_t i = 0; i < tables_.size(); ++i) {
     out += "T" + std::to_string(i) + " (arity " +
-           std::to_string(tables_[i].arity()) + "):\n";
-    out += tables_[i].ToString(symbols);
+           std::to_string(tables_[i]->arity()) + "):\n";
+    out += tables_[i]->ToString(symbols);
   }
   return out;
 }

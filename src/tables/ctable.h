@@ -17,7 +17,9 @@
 #ifndef PW_TABLES_CTABLE_H_
 #define PW_TABLES_CTABLE_H_
 
+#include <cassert>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -56,10 +58,12 @@ std::string ToString(TableKind kind);
 /// id. Rows produced by interned pipelines seed the cache at construction,
 /// so conditions cross layer boundaries without being re-canonicalized.
 ///
-/// The id cache is mutable state behind a const row: like the interners
-/// themselves, rows and tables must not be used from multiple threads
-/// concurrently (give each evaluator thread its own copy — the memoized ids
-/// are per-interner anyway, so a shared row would re-intern per thread).
+/// The id cache is mutable state behind a const row: a row must not be
+/// *lazily* interned from multiple threads concurrently. Sharing read-only
+/// rows across threads is still possible by warming the cache first —
+/// `CTable::PrepareForSharing` interns every row against a shared interner,
+/// after which concurrent `LocalId` calls with that interner are pure
+/// stamp-match reads. Otherwise give each evaluator thread its own copy.
 class CRow {
  public:
   CRow() = default;
@@ -134,6 +138,19 @@ class CTable {
   const CRow& row(size_t i) const { return rows_[i]; }
   const Conjunction& global() const { return global_; }
 
+  /// True after PrepareForSharing: the table is published to concurrent
+  /// readers and must not be mutated (debug-asserted by every mutator).
+  /// Copies of a frozen table are mutable again.
+  bool frozen() const { return frozen_; }
+
+  /// Freezes the table for sharing across reader threads: memoizes the
+  /// global and every row condition against `interner` (so concurrent
+  /// GlobalId/LocalId calls with it are read-only stamp matches) and
+  /// allocates the index state eagerly (so concurrent Index() calls never
+  /// race the lazy allocation). After this, mutators debug-assert. A no-op
+  /// if already frozen under the same interner stamp.
+  void PrepareForSharing(ConditionInterner& interner);
+
   /// Appends a row with local condition `true`.
   void AddRow(Tuple tuple);
 
@@ -159,6 +176,7 @@ class CTable {
 
   /// Replaces the global condition.
   void SetGlobal(Conjunction global) {
+    assert(!frozen_ && "mutating a table frozen for sharing");
     global_ = std::move(global);
     global_stamp_ = 0;
   }
@@ -167,6 +185,7 @@ class CTable {
   /// (`id` must be the id `global` interns to in `interner`); the table's
   /// global-id cache starts hot.
   void SetGlobal(Conjunction global, ConjId id, ConditionInterner& interner) {
+    assert(!frozen_ && "mutating a table frozen for sharing");
     global_ = std::move(global);
     global_id_ = id;
     global_stamp_ = interner.stamp();
@@ -174,6 +193,7 @@ class CTable {
 
   /// Conjoins `atom` onto the global condition.
   void AddGlobalAtom(const CondAtom& atom) {
+    assert(!frozen_ && "mutating a table frozen for sharing");
     global_.Add(atom);
     global_stamp_ = 0;
   }
@@ -196,7 +216,11 @@ class CTable {
   /// appended rows instead — never both, so callers can count builds and
   /// extends separately. The reference is owned by the table; later
   /// mutations extend or rebuild it in place, so snapshot candidate lists
-  /// before mutating. Like the stamped id caches, not thread-safe.
+  /// before mutating. The cache itself is mutex-guarded, so concurrent
+  /// Index() calls on a frozen table are safe (the rows can't change, hence
+  /// a built index is immutable and probes on the returned reference are
+  /// lock-free); on a table still being mutated the usual single-thread
+  /// ownership rules apply.
   const TupleIndex& Index(const std::vector<int>& columns,
                           bool* built = nullptr,
                           bool* extended = nullptr) const;
@@ -255,7 +279,17 @@ class CTable {
   // catch up incrementally), wholesale row replacement bumps it (indexes
   // rebuild on next use).
   uint64_t rows_stamp_ = 1;
-  mutable std::unique_ptr<TupleIndexCache> indexes_;
+  // The lazily-built index cache behind its guard. Heap-allocated so the
+  // table stays movable (std::mutex is not); allocated up front by
+  // PrepareForSharing so concurrent readers never race the lazy branch.
+  struct IndexState {
+    std::mutex mutex;
+    TupleIndexCache cache;
+  };
+  mutable std::unique_ptr<IndexState> indexes_;
+  // Sharing state (see PrepareForSharing). Reset on copy.
+  bool frozen_ = false;
+  uint64_t warmed_stamp_ = 0;
 };
 
 /// An n-vector of c-tables (Definition 2.2 generalization). The paper takes
@@ -263,19 +297,35 @@ class CTable {
 /// — shared variables simply behave as if linked by equality conditions.
 /// The represented set of worlds uses the conjunction of all members' global
 /// conditions.
+///
+/// Tables are held behind shared pointers with copy-on-write semantics:
+/// copying a CDatabase is a cheap shallow copy (the basis of the snapshot
+/// reads in tables/snapshot.h), and `mutable_table` clones a table lazily
+/// when it is shared with another copy. Value semantics are unchanged for
+/// callers — mutating one copy never affects another.
 class CDatabase {
  public:
   CDatabase() = default;
-  explicit CDatabase(std::vector<CTable> tables) : tables_(std::move(tables)) {}
+  explicit CDatabase(std::vector<CTable> tables);
 
   /// Wraps a single table.
-  explicit CDatabase(CTable table) { tables_.push_back(std::move(table)); }
+  explicit CDatabase(CTable table) { AddTable(std::move(table)); }
 
   size_t num_tables() const { return tables_.size(); }
-  const CTable& table(size_t i) const { return tables_[i]; }
-  CTable& mutable_table(size_t i) { return tables_[i]; }
+  const CTable& table(size_t i) const { return *tables_[i]; }
+
+  /// The table, cloned first if it is shared with another CDatabase copy
+  /// (copy-on-write). The reference is invalidated by the next copy-and-
+  /// mutate cycle, so re-fetch it rather than holding it across copies.
+  CTable& mutable_table(size_t i);
 
   size_t AddTable(CTable table);
+
+  /// Freezes every table for concurrent readers (see
+  /// CTable::PrepareForSharing); tables already frozen under the current
+  /// interner stamp are skipped, so incremental re-publication after a
+  /// mutation only warms the cloned tables.
+  void PrepareForSharing(ConditionInterner& interner);
 
   /// The conjunction of all member global conditions.
   Conjunction CombinedGlobal() const;
@@ -303,7 +353,7 @@ class CDatabase {
   std::string ToString(const SymbolTable* symbols = nullptr) const;
 
  private:
-  std::vector<CTable> tables_;
+  std::vector<std::shared_ptr<CTable>> tables_;
 };
 
 }  // namespace pw

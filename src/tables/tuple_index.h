@@ -40,8 +40,13 @@
 // rows in exactly the order the scan it replaces would have (semi-naive
 // delta windows and deterministic output orders both rely on this).
 //
-// Like the interner and the stamped id caches of CRow/CTable, indexes are
-// not thread-safe; give each evaluator thread its own tables.
+// Building and extending an index is single-owner: `Add`/`Get` mutate
+// shared scratch, so only one thread may grow a cache at a time
+// (CTable::Index serializes its cache behind a mutex; the parallel fixpoint
+// gives each worker its own TupleIndexCache). A *built* index over rows
+// that are no longer changing is safe to probe from many threads —
+// `Probe`/`Candidates` are const and touch only locals — which is what
+// frozen-table readers (tables/snapshot.h) rely on.
 
 #ifndef PW_TABLES_TUPLE_INDEX_H_
 #define PW_TABLES_TUPLE_INDEX_H_

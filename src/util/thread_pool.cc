@@ -1,0 +1,80 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+
+namespace pw {
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : num_threads_(num_threads < 1 ? 1 : num_threads) {
+  threads_.reserve(num_threads_ - 1);
+  for (size_t w = 1; w < num_threads_; ++w) {
+    threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::DrainTasks(const std::function<void(size_t, size_t)>& fn,
+                            size_t worker) {
+  size_t count;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    count = job_count_;
+  }
+  for (;;) {
+    size_t task = next_task_.fetch_add(1, std::memory_order_relaxed);
+    if (task >= count) break;
+    fn(task, worker);
+  }
+}
+
+void ThreadPool::WorkerLoop(size_t worker) {
+  uint64_t seen_job = 0;
+  for (;;) {
+    const std::function<void(size_t, size_t)>* fn;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return stop_ || job_id_ != seen_job; });
+      if (stop_) return;
+      seen_job = job_id_;
+      fn = job_;
+    }
+    DrainTasks(*fn, worker);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --workers_busy_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t count, const std::function<void(size_t, size_t)>& fn) {
+  if (count == 0) return;
+  if (num_threads_ == 1) {
+    for (size_t task = 0; task < count; ++task) fn(task, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    job_count_ = count;
+    next_task_.store(0, std::memory_order_relaxed);
+    workers_busy_ = threads_.size();
+    ++job_id_;
+  }
+  start_cv_.notify_all();
+  DrainTasks(fn, /*worker=*/0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return workers_busy_ == 0; });
+  job_ = nullptr;
+}
+
+}  // namespace pw

@@ -14,33 +14,101 @@ each fast-path benchmark with its seed-path twin by name:
                                               full fixpoint + restriction)
     *_Incremental/N    vs  *_Recompute/N     (maintained materialized view vs
                                               full fixpoint per update)
+    *_Snapshot/N       vs  *_Direct/N        (versioned snapshot reads over
+                                              the shared interner vs direct
+                                              single-thread reads)
 
 Exits nonzero when any fast path takes more than --max-ratio times its seed
 pair (default 2.0, the CI regression budget), or when no pair was found at
 all (which means the bench names drifted and the gate is vacuous).
+
+Additionally, with --min-scale > 0, enforces the concurrency scaling gate:
+for every benchmark family named `<base>/N` (with N a thread count) that
+reports items_per_second and contains "Snapshot", the N = --scale-threads
+run must process at least --min-scale times the items/sec of the N = 1 run.
+A collapse here means a lock serialized the readers. The gate fails as
+vacuous if --min-scale is set but no such family exists in the input.
 """
 
 import argparse
 import json
+import re
 import sys
 
 PAIRS = [("SemiNaive", "Naive"), ("InternedPath", "SeedPath"),
          ("HashJoin", "NestedLoop"), ("IndexedJoin", "ScanJoin"),
          ("PlannedJoin", "BinaryFusion"), ("Magic", "FullFixpoint"),
-         ("Incremental", "Recompute")]
+         ("Incremental", "Recompute"), ("Snapshot", "Direct")]
+
+THREADED_NAME = re.compile(r"^(?P<base>.+)/(?P<n>\d+)(?:/real_time)?$")
 
 
-def load_times(paths):
-    times = {}
+def load_benchmarks(paths):
+    """name -> (real_time, unit, items_per_second or None)."""
+    benchmarks = {}
     for path in paths:
         with open(path) as f:
             data = json.load(f)
         for bench in data.get("benchmarks", []):
             if bench.get("run_type", "iteration") != "iteration":
                 continue
-            times[bench["name"]] = (float(bench["real_time"]),
-                                    bench.get("time_unit", "ns"))
-    return times
+            benchmarks[bench["name"]] = (float(bench["real_time"]),
+                                         bench.get("time_unit", "ns"),
+                                         bench.get("items_per_second"))
+    return benchmarks
+
+
+def check_pairs(benchmarks, max_ratio):
+    failures = []
+    checked = 0
+    for name in sorted(benchmarks):
+        for fast_tag, seed_tag in PAIRS:
+            if fast_tag not in name:
+                continue
+            seed_name = name.replace(fast_tag, seed_tag)
+            if seed_name == name or seed_name not in benchmarks:
+                continue
+            checked += 1
+            fast_time, unit, _ = benchmarks[name]
+            seed_time, _, _ = benchmarks[seed_name]
+            ratio = fast_time / seed_time if seed_time > 0 else 0.0
+            status = "FAIL" if ratio > max_ratio else "ok"
+            print(f"[{status}] {name}: {fast_time:.0f}{unit} vs "
+                  f"{seed_name}: {seed_time:.0f}{unit} (ratio {ratio:.2f}, "
+                  f"limit {max_ratio:.2f})")
+            if ratio > max_ratio:
+                failures.append(name)
+    return checked, failures
+
+
+def check_scaling(benchmarks, min_scale, scale_threads):
+    """items_per_second at `scale_threads` must beat 1-thread by min_scale."""
+    families = {}
+    for name, (_, _, items_per_second) in benchmarks.items():
+        if items_per_second is None or "Snapshot" not in name:
+            continue
+        m = THREADED_NAME.match(name)
+        if m is None:
+            continue
+        families.setdefault(m.group("base"), {})[int(m.group("n"))] = \
+            items_per_second
+    failures = []
+    checked = 0
+    for base in sorted(families):
+        by_threads = families[base]
+        if 1 not in by_threads or scale_threads not in by_threads:
+            continue
+        checked += 1
+        one = by_threads[1]
+        many = by_threads[scale_threads]
+        scale = many / one if one > 0 else 0.0
+        status = "FAIL" if scale < min_scale else "ok"
+        print(f"[{status}] {base}: {many:.0f} items/s at {scale_threads} "
+              f"threads vs {one:.0f} at 1 (scale {scale:.2f}x, "
+              f"minimum {min_scale:.2f}x)")
+        if scale < min_scale:
+            failures.append(base)
+    return checked, failures
 
 
 def main():
@@ -49,39 +117,40 @@ def main():
                         help="google-benchmark JSON output files")
     parser.add_argument("--max-ratio", type=float, default=2.0,
                         help="maximum fast/seed time ratio (default 2.0)")
+    parser.add_argument("--min-scale", type=float, default=0.0,
+                        help="minimum N-thread/1-thread items/sec factor for "
+                             "Snapshot throughput families (0 disables)")
+    parser.add_argument("--scale-threads", type=int, default=4,
+                        help="thread count the scaling gate compares against "
+                             "the 1-thread run (default 4)")
     args = parser.parse_args()
 
-    times = load_times(args.json_files)
-    failures = []
-    checked = 0
-    for name in sorted(times):
-        for fast_tag, seed_tag in PAIRS:
-            if fast_tag not in name:
-                continue
-            seed_name = name.replace(fast_tag, seed_tag)
-            if seed_name == name or seed_name not in times:
-                continue
-            checked += 1
-            fast_time, unit = times[name]
-            seed_time, _ = times[seed_name]
-            ratio = fast_time / seed_time if seed_time > 0 else 0.0
-            status = "FAIL" if ratio > args.max_ratio else "ok"
-            print(f"[{status}] {name}: {fast_time:.0f}{unit} vs "
-                  f"{seed_name}: {seed_time:.0f}{unit} (ratio {ratio:.2f}, "
-                  f"limit {args.max_ratio:.2f})")
-            if ratio > args.max_ratio:
-                failures.append(name)
+    benchmarks = load_benchmarks(args.json_files)
+    checked, failures = check_pairs(benchmarks, args.max_ratio)
 
     if checked == 0:
         print("error: no fast/seed benchmark pairs found in "
               f"{args.json_files}; did the benchmark names change?",
               file=sys.stderr)
         return 1
+
+    if args.min_scale > 0:
+        scale_checked, scale_failures = check_scaling(
+            benchmarks, args.min_scale, args.scale_threads)
+        if scale_checked == 0:
+            print("error: --min-scale set but no Snapshot throughput family "
+                  f"with both 1 and {args.scale_threads} threads was found; "
+                  "the scaling gate is vacuous", file=sys.stderr)
+            return 1
+        failures += scale_failures
+
     if failures:
-        print(f"{len(failures)} of {checked} fast paths regressed past "
-              f"{args.max_ratio:.1f}x", file=sys.stderr)
+        print(f"{len(failures)} of {checked} gated paths failed",
+              file=sys.stderr)
         return 1
-    print(f"all {checked} fast-path pairs within {args.max_ratio:.1f}x")
+    print(f"all {checked} fast-path pairs within {args.max_ratio:.1f}x" +
+          (f"; scaling >= {args.min_scale:.1f}x at {args.scale_threads} "
+           "threads" if args.min_scale > 0 else ""))
     return 0
 
 
