@@ -65,11 +65,13 @@ CDatabase NullChain(int n, int gap, bool shared = false) {
 }
 
 void RunFixpoint(benchmark::State& state, const CDatabase& db,
-                 bool semi_naive, const char* label, bool use_index = true) {
+                 bool semi_naive, const char* label, bool use_index = true,
+                 ConditionBackendKind backend = ConditionBackendKind::kDefault) {
   DatalogProgram tc = TransitiveClosure();
   DatalogCTableOptions options;
   options.semi_naive = semi_naive;
   options.use_index = use_index;
+  options.condition_backend = backend;
   ConditionedFixpointStats stats;
   for (auto _ : state) {
     CDatabase out = DatalogOnCTables(tc, db, &stats, options);
@@ -101,9 +103,11 @@ BENCHMARK(BM_ConditionedTC_GroundChain_Naive)
     ->Unit(benchmark::kMicrosecond);
 
 // Lineage growth is exponential in the number of nulls (every pair of null
-// endpoints yields conditional cross-paths); cap the sweep at the smoke
-// sizes CI gates on — past ~4 distinct nulls the exponential antichain per
-// tuple dominates every strategy and a single fixpoint takes seconds.
+// endpoints yields conditional cross-paths); this semi-naive/naive pair
+// stays at the smoke sizes because the naive seed strategy pays the
+// exponential antichain twice over. The un-capped diversity sweep lives in
+// the *_NullChainDiversity_DDBackend / _Antichain pair below, where the
+// decision-diagram backend keeps the large sizes tractable.
 void BM_ConditionedTC_NullChain_SemiNaive(benchmark::State& state) {
   CDatabase db = NullChain(static_cast<int>(state.range(0)), /*gap=*/3);
   RunFixpoint(state, db, true, "null chain, semi-naive interned");
@@ -282,6 +286,55 @@ void BM_ConditionedTC_UpdateStream_Recompute(benchmark::State& state) {
 }
 BENCHMARK(BM_ConditionedTC_UpdateStream_Recompute)
     ->DenseRange(32, 64, 32)
+    ->Unit(benchmark::kMicrosecond);
+
+// The antichain blowup, head-on: with a fresh null every gap, the lineage of
+// a far-reachable tuple is a disjunction over exponentially many equality
+// patterns, and the conjunctive backend keeps each disjunct as its own
+// antichain row. The decision-diagram backend keeps ONE row per tuple whose
+// condition is a hash-consed diagram, so And/Or stay polynomial in diagram
+// size and the sweep runs un-capped past the sizes the *_SemiNaive/_Naive
+// pair above must stop at. Each iteration evaluates against a fresh private
+// interner and freshly built base table, so both sides start cold — the
+// comparison is backend vs backend, not warm memo tables vs a per-query
+// diagram store. Paired as *_DDBackend / *_Antichain for the CI gate with a
+// tightened 1.2x budget — DD must never lose the low-diversity sizes by
+// more than 1.2x, and must beat the antichain by >= 5x at the largest size
+// (tools/check_bench_regression.py enforces both).
+void RunDiversitySweep(benchmark::State& state, ConditionBackendKind backend,
+                       const char* label) {
+  const int n = static_cast<int>(state.range(0));
+  DatalogProgram tc = TransitiveClosure();
+  ConditionedFixpointStats stats;
+  for (auto _ : state) {
+    ConditionInterner interner;
+    CDatabase db = NullChain(n, /*gap=*/3);
+    DatalogCTableOptions options;
+    options.interner = &interner;
+    options.condition_backend = backend;
+    CDatabase out = DatalogOnCTables(tc, db, &stats, options);
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["rows"] = static_cast<double>(stats.derived_rows);
+  state.counters["subsumed"] = static_cast<double>(stats.subsumed_rows);
+  state.counters["rounds"] = static_cast<double>(stats.rounds);
+  state.SetLabel(label);
+}
+
+void BM_ConditionedTC_NullChainDiversity_DDBackend(benchmark::State& state) {
+  RunDiversitySweep(state, ConditionBackendKind::kDecisionDiagrams,
+                    "null chain, semi-naive, decision diagrams");
+}
+BENCHMARK(BM_ConditionedTC_NullChainDiversity_DDBackend)
+    ->DenseRange(6, 12, 3)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ConditionedTC_NullChainDiversity_Antichain(benchmark::State& state) {
+  RunDiversitySweep(state, ConditionBackendKind::kConjunctions,
+                    "null chain, semi-naive, antichain rows");
+}
+BENCHMARK(BM_ConditionedTC_NullChainDiversity_Antichain)
+    ->DenseRange(6, 12, 3)
     ->Unit(benchmark::kMicrosecond);
 
 // One shared null across every gap: the same handful of conditions recurs in

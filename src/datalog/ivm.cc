@@ -3,6 +3,7 @@
 #include <cassert>
 #include <utility>
 
+#include "condition/backend.h"
 #include "tables/updates.h"
 
 namespace pw {
@@ -107,23 +108,48 @@ void MaterializedView::Delete(int pred, const Fact& fact) {
   // the raw local conditions, NOT conjoined with the global: a row merely
   // rep()-redundant under the global is still live in the evaluator, and
   // treating it as covered would leave stale rows a recomputation lacks.
+  ConditionBackend& backend = fix_->backend();
   bool covered = true;
-  for (const CRow& removed : delta.removed) {
-    ConjId removed_id = removed.LocalId(interner);
-    if (!interner.Satisfiable(interner.And(global_id_, removed_id))) {
-      continue;
-    }
-    bool has_cover = false;
-    for (const CRow& kept : delta.kept) {
-      if (kept.tuple != removed.tuple) continue;
-      if (interner.Implies(removed_id, kept.LocalId(interner))) {
-        has_cover = true;
+  if (backend.disjunctive()) {
+    // DD backend: the fixpoint keeps ONE live row per tuple whose condition
+    // is the Or over the admitted seeds, so the removed row left no trace
+    // iff it was dropped at seed time or the kept rows' disjunction
+    // *propositionally absorbs* it — then the live diagram id equals the
+    // from-scratch one. Theory-implied-but-not-absorbed is deliberately not
+    // covered: the ids would differ and later deltas would reason against a
+    // diagram a recomputation lacks; those cases take the cone rebuild.
+    for (const CRow& removed : delta.removed) {
+      CondId removed_cond = backend.FromConj(removed.LocalId(interner));
+      if (!backend.SatisfiableWith(global_id_, removed_cond)) continue;
+      CondId kept_or = ConditionBackend::kFalseCond;
+      for (const CRow& kept : delta.kept) {
+        if (kept.tuple != removed.tuple) continue;
+        kept_or = backend.Or(kept_or,
+                             backend.FromConj(kept.LocalId(interner)));
+      }
+      if (backend.Or(kept_or, removed_cond) != kept_or) {
+        covered = false;
         break;
       }
     }
-    if (!has_cover) {
-      covered = false;
-      break;
+  } else {
+    for (const CRow& removed : delta.removed) {
+      ConjId removed_id = removed.LocalId(interner);
+      if (!interner.Satisfiable(interner.And(global_id_, removed_id))) {
+        continue;
+      }
+      bool has_cover = false;
+      for (const CRow& kept : delta.kept) {
+        if (kept.tuple != removed.tuple) continue;
+        if (interner.Implies(removed_id, kept.LocalId(interner))) {
+          has_cover = true;
+          break;
+        }
+      }
+      if (!has_cover) {
+        covered = false;
+        break;
+      }
     }
   }
   if (covered) {

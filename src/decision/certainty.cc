@@ -1,5 +1,6 @@
 #include "decision/certainty.h"
 
+#include <memory>
 #include <set>
 
 #include "datalog/certain.h"
@@ -53,6 +54,35 @@ std::pair<DatalogProgram, std::vector<int>> IdentityAsDatalog(
 }
 
 }  // namespace
+
+bool CertainFactInTable(const CTable& table, const Fact& fact, ConjId global_id,
+                        ConditionBackend& backend) {
+  ConditionInterner& interner = backend.interner();
+  CondId disj = ConditionBackend::kFalseCond;
+  if (static_cast<size_t>(table.arity()) == fact.size()) {
+    for (const CRow& row : table.rows()) {
+      // The world contains `fact` through this row iff the row's condition
+      // holds and every tuple position valuates to the fact's constant.
+      Conjunction eqs;
+      bool mismatch = false;
+      for (size_t i = 0; i < fact.size(); ++i) {
+        CondAtom eq = Eq(Term::Const(fact[i]), row.tuple[i]);
+        if (IsTriviallyFalse(eq)) {
+          mismatch = true;
+          break;
+        }
+        if (!IsTriviallyTrue(eq)) eqs.Add(eq);
+      }
+      if (mismatch) continue;
+      ConjId cond = row.LocalId(interner);
+      if (eqs.size() > 0) cond = interner.And(cond, interner.Intern(eqs));
+      if (cond == ConditionInterner::kFalseConj) continue;
+      disj = backend.Or(disj, backend.FromConj(cond));
+      if (disj == ConditionBackend::kTrueCond) break;  // already a tautology
+    }
+  }
+  return backend.TautologyUnder(global_id, disj);
+}
 
 std::optional<bool> CertDatalogGTables(
     const View& view, const CDatabase& database,
@@ -109,12 +139,20 @@ bool Certainty(const View& view, const CDatabase& database,
                const std::vector<LocatedFact>& pattern) {
   if (auto fast = CertDatalogGTables(view, database, pattern)) return *fast;
   // c-tables with positive existential views: decide via the
-  // Imielinski–Lipski image and a per-fact "is it missing somewhere" CSP.
+  // Imielinski–Lipski image and a per-fact certainty tautology through the
+  // configured condition backend (the per-fact "is it missing somewhere"
+  // CSP, ExistsWorldMissingFact, stays as the cross-checked baseline).
   if (view.is_ra() && view.IsPositiveExistential(/*allow_neq=*/true)) {
     if (auto image = EvalQueryOnCTables(view.ra(), database)) {
       if (RepIsEmpty(database)) return true;  // vacuous
+      ConditionInterner& interner = ConditionInterner::Global();
+      std::unique_ptr<ConditionBackend> backend =
+          MakeConditionBackend(ConditionBackendKind::kDefault, interner);
+      ConjId global_id = image->CombinedGlobalId(interner);
       for (const LocatedFact& lf : pattern) {
-        if (ExistsWorldMissingFact(*image, lf.relation, lf.fact)) {
+        if (lf.relation >= image->num_tables() ||
+            !CertainFactInTable(image->table(lf.relation), lf.fact,
+                                global_id, *backend)) {
           return false;
         }
       }
@@ -123,8 +161,14 @@ bool Certainty(const View& view, const CDatabase& database,
   }
   if (view.is_identity()) {
     if (RepIsEmpty(database)) return true;  // vacuous
+    ConditionInterner& interner = ConditionInterner::Global();
+    std::unique_ptr<ConditionBackend> backend =
+        MakeConditionBackend(ConditionBackendKind::kDefault, interner);
+    ConjId global_id = database.CombinedGlobalId(interner);
     for (const LocatedFact& lf : pattern) {
-      if (ExistsWorldMissingFact(database, lf.relation, lf.fact)) {
+      if (lf.relation >= database.num_tables() ||
+          !CertainFactInTable(database.table(lf.relation), lf.fact,
+                              global_id, *backend)) {
         return false;
       }
     }

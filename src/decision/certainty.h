@@ -17,11 +17,23 @@
 #include <optional>
 #include <vector>
 
+#include "condition/backend.h"
 #include "core/instance.h"
 #include "decision/view.h"
 #include "tables/ctable.h"
 
 namespace pw {
+
+/// True iff `fact` is present in every world of `table` under `global_id`:
+/// decides the tautology  global -> OR over rows (row condition AND
+/// row tuple = fact)  through `backend`, without enumerating worlds or
+/// expanding a DNF — the DD backend answers with one Not/And/Satisfiable
+/// pass, the conjunctive backend with the exact backtracking disjunction
+/// check. Exact for any c-table (an unsatisfiable global makes everything
+/// vacuously certain, matching rep-emptiness). The decision-procedure
+/// baseline ExistsWorldMissingFact (decision/world_csp.h) cross-checks it.
+bool CertainFactInTable(const CTable& table, const Fact& fact, ConjId global_id,
+                        ConditionBackend& backend);
 
 /// PTIME certainty for DATALOG views of g-table databases. If rep(database)
 /// is empty the answer is vacuously true. Returns std::nullopt when the view

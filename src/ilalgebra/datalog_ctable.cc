@@ -20,13 +20,15 @@ namespace {
 
 /// One conditioned fact during evaluation. The tuple lives in the by_tuple
 /// index (node-based map, so the key address is stable); rows of the same
-/// tuple share it. Dead rows (subsumed by a later, weaker derivation) stay
-/// in place so indices remain stable; joins skip them — any derivation
-/// through a dead row is covered, with a weaker or equal condition, by the
-/// same derivation through its subsumer.
+/// tuple share it. `cond` is a backend condition id: an interned conjunction
+/// on the antichain backend, a decision-diagram id on the DD backend. Dead
+/// rows (subsumed by a later, weaker derivation — or, on the DD backend,
+/// Or-merged into a wider one) stay in place so indices remain stable; joins
+/// skip them — any derivation through a dead row is covered, with a weaker
+/// or equal condition, by the same derivation through its subsumer.
 struct IRow {
   const Tuple* tuple = nullptr;
-  ConjId cond = ConditionInterner::kTrueConj;
+  CondId cond = ConditionBackend::kTrueCond;
   bool alive = true;
 };
 
@@ -52,6 +54,11 @@ struct PredState {
 
 struct EvalState {
   ConditionInterner* interner = nullptr;
+  // The condition representation rows travel in (owned by the Impl). `dd`
+  // caches backend->disjunctive(): true switches Insert from the subsumption
+  // antichain to one-live-row-per-tuple Or-merging.
+  ConditionBackend* backend = nullptr;
+  bool dd = false;
   ConjId global_id = ConditionInterner::kTrueConj;
   bool use_index = true;
   // Predicates at or past this id are magic (demand) predicates of a
@@ -83,15 +90,27 @@ struct EvalState {
 };
 
 /// Inserts a derived row unless a duplicate (same tuple, same condition id)
-/// or subsumed (a live row with the same tuple and an implied-or-equal
-/// condition exists); kills live rows the new one subsumes. Rows whose
-/// condition cannot hold together with the global condition are dropped.
-/// Returns true if the row was added. Since each (tuple, id) pair is
-/// admitted at most once and the id universe of a program is finite, the
-/// fixpoint terminates.
-bool Insert(EvalState& state, int pred, Tuple tuple, ConjId cond) {
-  ConditionInterner& interner = *state.interner;
-  if (!interner.Satisfiable(interner.And(state.global_id, cond))) {
+/// or subsumed; kills live rows the new one covers. Rows whose condition
+/// cannot hold together with the global condition are dropped. Returns true
+/// if the row was added.
+///
+/// Antichain backend: a live row whose condition the new one implies makes
+/// it redundant, and it in turn kills every live row implying it — per tuple
+/// a covering antichain of conjunctions survives. Since each (tuple, id)
+/// pair is admitted at most once and the id universe of a program is finite,
+/// the fixpoint terminates.
+///
+/// DD backend: per tuple at most ONE live row exists; a new derivation
+/// Or-merges into it. A merge that widens the condition kills the old row
+/// and appends the merged one past the delta end, so downstream rules re-fire
+/// against the widened condition next round — exactly the semi-naive
+/// invariant, with the merged id playing the role the fresh conjunction
+/// played before. Termination: every non-dropped insert strictly enlarges
+/// the tuple's condition in the finite lattice of boolean functions over the
+/// program's atom universe.
+bool Insert(EvalState& state, int pred, Tuple tuple, CondId cond) {
+  ConditionBackend& backend = *state.backend;
+  if (!backend.SatisfiableWith(state.global_id, cond)) {
     ++state.stats.unsatisfiable_rows;
     // Unsatisfiable *demand* dies here, before any guarded rule body could
     // fire against it.
@@ -102,7 +121,27 @@ bool Insert(EvalState& state, int pred, Tuple tuple, ConjId cond) {
   auto [it, inserted] = ps.by_tuple.try_emplace(std::move(tuple));
   std::vector<size_t>& bucket = it->second;
   state.ChargeWork(1 + bucket.size());
-  if (!inserted) {
+  if (!inserted && state.dd) {
+    for (size_t idx : bucket) {
+      IRow& existing = ps.rows[idx];
+      if (!existing.alive) continue;
+      if (existing.cond == cond) {
+        ++state.stats.duplicate_rows;
+        return false;
+      }
+      CondId merged = backend.Or(existing.cond, cond);
+      if (merged == existing.cond) {
+        // The live condition already covers the new derivation.
+        ++state.stats.subsumed_rows;
+        return false;
+      }
+      existing.alive = false;
+      ++state.stats.subsumed_rows;
+      cond = merged;
+      break;  // at most one live row per tuple on this backend
+    }
+  } else if (!inserted) {
+    ConditionInterner& interner = *state.interner;
     for (size_t idx : bucket) {
       if (ps.rows[idx].cond == cond) {
         ++state.stats.duplicate_rows;
@@ -189,20 +228,22 @@ const TupleIndex& IndexFor(EvalState& state, int pred,
 /// order-canonically, or evaluation schedules with different delta windows
 /// (incremental resume vs from-scratch, parallel slices) would derive
 /// different rows and break their identity.
-void CanonicalLeaf(const DatalogRule& rule, ConditionInterner& interner,
+void CanonicalLeaf(const DatalogRule& rule, ConditionBackend& backend,
                    const std::vector<const Tuple*>& matched,
-                   const std::vector<ConjId>& matched_cond, Tuple* head,
-                   ConjId* cond) {
+                   const std::vector<CondId>& matched_cond, Tuple* head,
+                   CondId* cond) {
   std::map<VarId, Term> canon;
   Conjunction eqs;
-  ConjId out = ConditionInterner::kTrueConj;
+  CondId out = ConditionBackend::kTrueCond;
   for (size_t p = 0; p < rule.body.size(); ++p) {
     bool ok = MatchArgs(rule.body[p].args, *matched[p], canon, eqs);
     (void)ok;
     assert(ok);  // constant conflicts fail in every match order
-    out = interner.And(out, matched_cond[p]);
+    out = backend.And(out, matched_cond[p]);
   }
-  if (eqs.size() > 0) out = interner.And(out, interner.Intern(eqs));
+  if (eqs.size() > 0) {
+    out = backend.And(out, backend.FromConj(backend.interner().Intern(eqs)));
+  }
   head->clear();
   head->reserve(rule.head.args.size());
   for (const Term& t : rule.head.args) {
@@ -226,6 +267,7 @@ void CanonicalLeaf(const DatalogRule& rule, ConditionInterner& interner,
 /// is cut immediately. Returns true if anything was added.
 bool FireRule(EvalState& state, const DatalogRule& rule, int delta_pos) {
   ConditionInterner& interner = *state.interner;
+  ConditionBackend& backend = *state.backend;
   bool added = false;
   // Branches cut while deriving a magic (demand) predicate are demand that
   // can never hold — counted separately as demand_pruned.
@@ -250,15 +292,15 @@ bool FireRule(EvalState& state, const DatalogRule& rule, int delta_pos) {
   // map), so capturing them across the recursion is safe even when Insert
   // grows the row vectors.
   std::vector<const Tuple*> matched(rule.body.size(), nullptr);
-  std::vector<ConjId> matched_cond(rule.body.size(),
-                                   ConditionInterner::kTrueConj);
+  std::vector<CondId> matched_cond(rule.body.size(),
+                                   ConditionBackend::kTrueCond);
 
-  std::function<void(size_t, ConjId)> go = [&](size_t depth, ConjId acc) {
+  std::function<void(size_t, CondId)> go = [&](size_t depth, CondId acc) {
     if (state.aborted) return;
     if (depth == rule.body.size()) {
       Tuple head;
-      ConjId cond = ConditionInterner::kTrueConj;
-      CanonicalLeaf(rule, interner, matched, matched_cond, &head, &cond);
+      CondId cond = ConditionBackend::kTrueCond;
+      CanonicalLeaf(rule, backend, matched, matched_cond, &head, &cond);
       added |= Insert(state, rule.head.predicate, std::move(head), cond);
       return;
     }
@@ -302,14 +344,15 @@ bool FireRule(EvalState& state, const DatalogRule& rule, int delta_pos) {
       size_t idx = keyed ? candidates[k] : lo + k;
       state.ChargeWork(1);
       if (!ps.rows[idx].alive) continue;
-      ConjId row_cond = ps.rows[idx].cond;
+      CondId row_cond = ps.rows[idx].cond;
       auto saved_binding = binding;
       Conjunction eqs;
       if (MatchArgs(atom.args, *ps.rows[idx].tuple, binding, eqs)) {
-        ConjId next = interner.And(acc, row_cond);
-        if (eqs.size() > 0) next = interner.And(next, interner.Intern(eqs));
-        if (!interner.Satisfiable(
-                interner.And(state.global_id, next))) {
+        CondId next = backend.And(acc, row_cond);
+        if (eqs.size() > 0) {
+          next = backend.And(next, backend.FromConj(interner.Intern(eqs)));
+        }
+        if (!backend.SatisfiableWith(state.global_id, next)) {
           ++state.stats.pruned_branches;  // never-on prefix: cut the subtree
           if (magic_head) ++state.stats.demand_pruned;
         } else {
@@ -321,7 +364,7 @@ bool FireRule(EvalState& state, const DatalogRule& rule, int delta_pos) {
       binding = std::move(saved_binding);
     }
   };
-  go(0, ConditionInterner::kTrueConj);
+  go(0, ConditionBackend::kTrueCond);
   return added;
 }
 
@@ -371,7 +414,7 @@ void AdvanceDeltas(EvalState& state) {
 /// row per enumeration (rotated) depth it was derived through.
 struct Candidate {
   Tuple head;
-  ConjId cond = ConditionInterner::kTrueConj;
+  CondId cond = ConditionBackend::kTrueCond;
   std::vector<std::pair<int, size_t>> sources;  // (pred, row idx) per depth
 };
 
@@ -419,6 +462,7 @@ struct GenSlice {
 void GenerateSlice(EvalState& state, WorkerScratch& ws, const Firing& firing,
                    size_t begin, size_t end, std::vector<Candidate>& out) {
   ConditionInterner& interner = *state.interner;
+  ConditionBackend& backend = *state.backend;
   const DatalogRule& rule = *firing.rule;
   const int delta_pos = firing.delta_pos;
   const bool magic_head = state.IsMagicPred(rule.head.predicate);
@@ -432,14 +476,14 @@ void GenerateSlice(EvalState& state, WorkerScratch& ws, const Firing& firing,
   }
 
   std::vector<const Tuple*> matched(rule.body.size(), nullptr);
-  std::vector<ConjId> matched_cond(rule.body.size(),
-                                   ConditionInterner::kTrueConj);
+  std::vector<CondId> matched_cond(rule.body.size(),
+                                   ConditionBackend::kTrueCond);
   std::vector<std::pair<int, size_t>> sources(rule.body.size());
 
-  std::function<void(size_t, ConjId)> go = [&](size_t depth, ConjId acc) {
+  std::function<void(size_t, CondId)> go = [&](size_t depth, CondId acc) {
     if (depth == rule.body.size()) {
       Candidate c;
-      CanonicalLeaf(rule, interner, matched, matched_cond, &c.head, &c.cond);
+      CanonicalLeaf(rule, backend, matched, matched_cond, &c.head, &c.cond);
       c.sources = sources;
       out.push_back(std::move(c));
       return;
@@ -465,13 +509,15 @@ void GenerateSlice(EvalState& state, WorkerScratch& ws, const Firing& firing,
       for (size_t k = begin; k < end; ++k) {
         size_t idx = firing.OuterId(k);
         if (!ps.rows[idx].alive) continue;
-        ConjId row_cond = ps.rows[idx].cond;
+        CondId row_cond = ps.rows[idx].cond;
         auto saved_binding = binding;
         Conjunction eqs;
         if (MatchArgs(atom.args, *ps.rows[idx].tuple, binding, eqs)) {
-          ConjId next = interner.And(acc, row_cond);
-          if (eqs.size() > 0) next = interner.And(next, interner.Intern(eqs));
-          if (!interner.Satisfiable(interner.And(state.global_id, next))) {
+          CondId next = backend.And(acc, row_cond);
+          if (eqs.size() > 0) {
+            next = backend.And(next, backend.FromConj(interner.Intern(eqs)));
+          }
+          if (!backend.SatisfiableWith(state.global_id, next)) {
             ++ws.pruned_branches;
             if (magic_head) ++ws.demand_pruned;
           } else {
@@ -509,13 +555,15 @@ void GenerateSlice(EvalState& state, WorkerScratch& ws, const Firing& firing,
     for (size_t k = 0; k < count; ++k) {
       size_t idx = keyed ? candidates[k] : lo + k;
       if (!ps.rows[idx].alive) continue;
-      ConjId row_cond = ps.rows[idx].cond;
+      CondId row_cond = ps.rows[idx].cond;
       auto saved_binding = binding;
       Conjunction eqs;
       if (MatchArgs(atom.args, *ps.rows[idx].tuple, binding, eqs)) {
-        ConjId next = interner.And(acc, row_cond);
-        if (eqs.size() > 0) next = interner.And(next, interner.Intern(eqs));
-        if (!interner.Satisfiable(interner.And(state.global_id, next))) {
+        CondId next = backend.And(acc, row_cond);
+        if (eqs.size() > 0) {
+          next = backend.And(next, backend.FromConj(interner.Intern(eqs)));
+        }
+        if (!backend.SatisfiableWith(state.global_id, next)) {
           ++ws.pruned_branches;
           if (magic_head) ++ws.demand_pruned;
         } else {
@@ -528,7 +576,7 @@ void GenerateSlice(EvalState& state, WorkerScratch& ws, const Firing& firing,
       binding = std::move(saved_binding);
     }
   };
-  go(0, ConditionInterner::kTrueConj);
+  go(0, ConditionBackend::kTrueCond);
 }
 
 /// The visit-time liveness protocol of the replay phase (see the section
@@ -658,6 +706,10 @@ bool ParallelRound(EvalState& state, const DatalogProgram& program,
 struct ConditionedFixpoint::Impl {
   const DatalogProgram* program = nullptr;
   bool semi_naive = true;
+  // The condition representation of this fixpoint's rows; state.backend
+  // points here. Declared before `state` only for clarity — construction
+  // wires both explicitly.
+  std::unique_ptr<ConditionBackend> backend;
   EvalState state;
   // Interner size at construction: stats() reports growth since then, which
   // matches the one-shot evaluators (they intern the global condition before
@@ -708,6 +760,10 @@ ConditionedFixpoint::ConditionedFixpoint(const DatalogProgram& program,
   EvalState& state = impl_->state;
   state.interner = options.interner != nullptr ? options.interner
                                                : &ConditionInterner::Global();
+  impl_->backend =
+      MakeConditionBackend(options.condition_backend, *state.interner);
+  state.backend = impl_->backend.get();
+  state.dd = state.backend->disjunctive();
   state.use_index = options.use_index;
   state.magic_begin = options.magic_pred_begin;
   state.max_derived_rows = options.max_derived_rows;
@@ -726,20 +782,26 @@ ConditionInterner& ConditionedFixpoint::interner() const {
   return *impl_->state.interner;
 }
 
+ConditionBackend& ConditionedFixpoint::backend() const {
+  return *impl_->backend;
+}
+
 void ConditionedFixpoint::SetGlobal(ConjId global_id) {
   impl_->state.global_id = global_id;
 }
 
 bool ConditionedFixpoint::Seed(int pred, const Tuple& tuple, ConjId cond) {
   if (impl_->state.aborted) return false;
-  return Insert(impl_->state, pred, tuple, cond);
+  return Insert(impl_->state, pred, tuple,
+                impl_->backend->FromConj(cond));
 }
 
 void ConditionedFixpoint::SeedTable(int pred, const CTable& table) {
   EvalState& state = impl_->state;
   for (const CRow& row : table.rows()) {
     if (state.aborted) break;
-    Insert(state, pred, row.tuple, row.LocalId(*state.interner));
+    Insert(state, pred, row.tuple,
+           state.backend->FromConj(row.LocalId(*state.interner)));
   }
 }
 
@@ -873,6 +935,19 @@ void ConditionedFixpoint::RunCone(const std::vector<bool>& cone_heads) {
 CTable ConditionedFixpoint::Export(int pred) const {
   const EvalState& state = impl_->state;
   CTable t(impl_->program->arity(pred));
+  if (state.dd) {
+    // Expand each diagram condition back into satisfiable conjunctions —
+    // one exported row per disjunct, the conjunctive form every downstream
+    // consumer (restriction, IVM deltas, decision procedures) speaks.
+    std::vector<ConjId> disjuncts;
+    for (const IRow& row : state.preds[pred].rows) {
+      if (!row.alive) continue;
+      disjuncts.clear();
+      state.backend->AppendDisjuncts(row.cond, &disjuncts);
+      for (ConjId d : disjuncts) t.AddRow(*row.tuple, d, *state.interner);
+    }
+    return t;
+  }
   for (const IRow& row : state.preds[pred].rows) {
     // Resolving through AddRow's interned overload seeds each row's id
     // cache, so downstream consumers start from the id.

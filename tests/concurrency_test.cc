@@ -38,6 +38,7 @@
 #include <utility>
 #include <vector>
 
+#include "condition/dd_backend.h"
 #include "condition/interner.h"
 #include "decision/certainty.h"
 #include "decision/possibility.h"
@@ -419,6 +420,101 @@ TEST(ParallelFixpointTest, MaterializedViewMaintainsIdenticallyInParallel) {
     CDatabase seq_mat = seq_view.Materialized();
     CDatabase par_mat = par_view.Materialized();
     ExpectIdenticalDatabases(par_mat, seq_mat);
+  }
+}
+
+// --- Shared decision-diagram backend ----------------------------------------
+
+TEST(SharedDDBackendStressTest, ThreadsAgreeOnEveryIdAndVerdict) {
+  // Many threads drive one DDBackend over a shared interner through the
+  // same (And/Or/Implies/Satisfiable) workload in their own orders. Diagram
+  // ids are hash-consed — a pure function of the operands — so every thread
+  // must land on the SAME CondId for each combination and the same verdict
+  // for each query, while the unique-table and op-cache insertions race.
+  for (uint32_t seed : Seeds(7500, 3)) {
+    SCOPED_TRACE("PW_DIFF_SEED=" + std::to_string(seed));
+    std::mt19937 rng(seed);
+    ConditionInterner interner;
+    interner.EnableSharing();
+    DDBackend dd(interner);
+    std::vector<CondId> leaves;
+    for (int i = 0; i < 40; ++i) {
+      leaves.push_back(dd.FromConj(interner.Intern(RandomConjunction(rng))));
+    }
+
+    constexpr int kThreads = 8;
+    const size_t n = leaves.size();
+    struct PairResult {
+      CondId and_id;
+      CondId or_id;
+      bool implies;
+      bool sat_and;
+    };
+    std::vector<std::vector<PairResult>> results(
+        kThreads, std::vector<PairResult>(n * n));
+    std::vector<std::thread> threads;
+    for (int th = 0; th < kThreads; ++th) {
+      threads.emplace_back([&, th] {
+        std::mt19937 order_rng(seed + 500 + th);
+        std::vector<size_t> order(n * n);
+        for (size_t k = 0; k < order.size(); ++k) order[k] = k;
+        std::shuffle(order.begin(), order.end(), order_rng);
+        for (size_t k : order) {
+          size_t i = k / n;
+          size_t j = k % n;
+          PairResult r;
+          r.and_id = dd.And(leaves[i], leaves[j]);
+          r.or_id = dd.Or(leaves[i], leaves[j]);
+          r.implies = dd.Implies(leaves[i], leaves[j]);
+          r.sat_and = dd.Satisfiable(r.and_id);
+          results[th][k] = r;
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+
+    for (int th = 1; th < kThreads; ++th) {
+      for (size_t k = 0; k < n * n; ++k) {
+        ASSERT_EQ(results[th][k].and_id, results[0][k].and_id)
+            << "thread " << th << " pair " << k;
+        ASSERT_EQ(results[th][k].or_id, results[0][k].or_id)
+            << "thread " << th << " pair " << k;
+        ASSERT_EQ(results[th][k].implies, results[0][k].implies)
+            << "thread " << th << " pair " << k;
+        ASSERT_EQ(results[th][k].sat_and, results[0][k].sat_and)
+            << "thread " << th << " pair " << k;
+      }
+    }
+  }
+}
+
+TEST(ParallelFixpointTest, DDBackendIdenticalToSequentialOnChains) {
+  // The parallel fixpoint on the decision-diagram backend: workers race
+  // into the diagram unique-table and op caches while the round schedule
+  // Or-merges each tuple's derivations, yet the deterministic insert replay
+  // must make the parallel run byte-identical to the sequential one — same
+  // rows, same order, same exported conditions.
+  DatalogProgram tc = TransitiveClosure();
+  // Ground chain, then a null-gapped one at a size whose condition
+  // diversity stays feasible (distinct nulls grow the diagrams — and any
+  // other representation — exponentially with chain length).
+  for (auto [n, gap] : {std::pair{24, 0}, std::pair{9, 3}}) {
+    CDatabase db = Chain(n, gap, /*shared=*/false);
+
+    ConditionInterner seq_interner;
+    DatalogCTableOptions seq;
+    seq.interner = &seq_interner;
+    seq.condition_backend = ConditionBackendKind::kDecisionDiagrams;
+    CDatabase seq_out = DatalogOnCTables(tc, db, nullptr, seq);
+
+    ConditionInterner shared_interner;
+    shared_interner.EnableSharing();
+    DatalogCTableOptions par = seq;
+    par.interner = &shared_interner;
+    par.num_threads = 4;
+    CDatabase par_out = DatalogOnCTables(tc, db, nullptr, par);
+
+    ExpectIdenticalDatabases(par_out, seq_out);
   }
 }
 

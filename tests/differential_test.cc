@@ -57,20 +57,50 @@
 //     for magic-set demand views (Answers() vs DatalogQueryOnCTables), with
 //     a second program evaluated over the maintained output as a nested
 //     downstream consumer.
+//
+//  7. Condition algebra — randomized And/Or expression trees over random
+//     interned conjunctions pushed through BOTH condition backends (the
+//     conjunctive antichain and the decision-diagram backend) side by side:
+//     every Satisfiable/SatisfiableWith/Implies/TautologyUnder verdict and
+//     the AppendDisjuncts DNF expansions must agree between the backends
+//     and with a small-model enumeration oracle (valuations over the
+//     mentioned constants plus one fresh value per variable — complete for
+//     boolean combinations of =/!= atoms over the infinite domain).
+//
+//  8. Decision-diagram fixpoints — the conditioned DATALOG fixpoint on the
+//     decision-diagram backend must be row-identical across the semi-naive,
+//     naive, and scan strategies and the shared-interner parallel runner
+//     (each tuple's derivations merge into ONE canonical diagram, so the
+//     exported DNF is strategy-independent), must represent the same worlds
+//     as the antichain backend's fixpoint, and must satisfy the per-world
+//     oracle directly.
+//
+//  9. Certainty across backends — CertainFactInTable must return the same
+//     verdict through both backends (the DD tautology check vs the exact
+//     backtracking disjunction check) and agree with the world-search
+//     baseline ExistsWorldMissingFact.
+//
+// Families 1-6 additionally run wholesale on the decision-diagram backend
+// via the PW_CONDITION_BACKEND=dd environment variable (the CI matrix's
+// tsan-dd cell does exactly that).
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cstdlib>
+#include <memory>
 #include <optional>
 #include <random>
 #include <string>
 #include <vector>
 
+#include "condition/backend.h"
 #include "datalog/eval.h"
 #include "datalog/ivm.h"
+#include "decision/certainty.h"
 #include "decision/possibility.h"
 #include "decision/view.h"
+#include "decision/world_csp.h"
 #include "ilalgebra/ctable_eval.h"
 #include "ilalgebra/datalog_ctable.h"
 #include "ra/eval.h"
@@ -698,7 +728,12 @@ bool MatchesBindings(const Fact& fact,
 // same tuples, interned-id-identical conditions (CanonicalRowSet renders the
 // interner-canonical form, which is 1:1 with the id) — on the indexed, scan,
 // and naive strategies alike, and must represent the per-world goal answers
-// exactly.
+// exactly. One caveat under the decision-diagram backend: the magic and
+// full programs merge *different* per-tuple diagrams (demand atoms are
+// distinct propositional variables), so their exports can expand to
+// different covering DNFs of the same world-set — there the magic-vs-full
+// comparison is per-world, which is that backend's documented contract.
+// Strategy choice within one program stays row-identical on every backend.
 class MagicDifferentialTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(MagicDifferentialTest, MagicEqualsRestrictedFullFixpoint) {
@@ -735,8 +770,18 @@ TEST_P(MagicDifferentialTest, MagicEqualsRestrictedFullFixpoint) {
                                              &magic_stats);
     CTable via_full = DatalogQueryOnCTables(program, db, goal, bindings,
                                             &full_stats, full);
-    EXPECT_EQ(CanonicalRowSet(via_magic), CanonicalRowSet(via_full))
-        << "magic diverged from restricted full fixpoint on " << label;
+    if (ResolveConditionBackendKind(ConditionBackendKind::kDefault) ==
+        ConditionBackendKind::kDecisionDiagrams) {
+      std::vector<ConstId> extra;
+      for (ConstId c = 0; c <= 3; ++c) extra.push_back(c);
+      EXPECT_EQ(testutil::CanonicalWorlds(CDatabase{via_magic}, extra),
+                testutil::CanonicalWorlds(CDatabase{via_full}, extra))
+          << "magic diverged (per-world) from restricted full fixpoint on "
+          << label;
+    } else {
+      EXPECT_EQ(CanonicalRowSet(via_magic), CanonicalRowSet(via_full))
+          << "magic diverged from restricted full fixpoint on " << label;
+    }
     EXPECT_EQ(via_magic.global(), via_full.global());
 
     // The demand path composes with every fixpoint strategy.
@@ -1258,6 +1303,320 @@ TEST(DifferentialEdgeTest, InternedPathPrunesUnsatisfiableRows) {
   EXPECT_EQ(testutil::CanonicalWorlds(fast_db, db.Constants()),
             testutil::CanonicalWorlds(seed_db, db.Constants()));
 }
+
+// --- Family 7: condition algebra across backends ---------------------------
+
+/// Truth of one =/!= atom under a total valuation (indexed by VarId).
+bool AtomHolds(const CondAtom& atom, const std::vector<ConstId>& valuation) {
+  auto value = [&](const Term& t) {
+    return t.is_constant() ? t.constant()
+                           : valuation[static_cast<size_t>(t.variable())];
+  };
+  return (value(atom.lhs) == value(atom.rhs)) == atom.is_equality;
+}
+
+/// Truth of an interned conjunction under a valuation.
+bool ConjHolds(const ConditionInterner& interner, ConjId id,
+               const std::vector<ConstId>& valuation) {
+  if (id == ConditionInterner::kTrueConj) return true;
+  if (id == ConditionInterner::kFalseConj) return false;
+  for (const CondAtom& atom : interner.Resolve(id).atoms()) {
+    if (!AtomHolds(atom, valuation)) return false;
+  }
+  return true;
+}
+
+/// A random conjunction over a pool small enough that implications,
+/// contradictions, and tautologies all actually occur.
+Conjunction RandomAlgebraConjunction(std::mt19937& rng) {
+  std::uniform_int_distribution<int> natoms(1, 2);
+  std::uniform_int_distribution<int> var(0, 2);
+  std::uniform_int_distribution<int> constant(0, 2);
+  std::uniform_int_distribution<int> kind(0, 3);
+  Conjunction c;
+  int n = natoms(rng);
+  for (int i = 0; i < n; ++i) {
+    switch (kind(rng)) {
+      case 0:
+        c.Add(Eq(V(var(rng)), C(constant(rng))));
+        break;
+      case 1:
+        c.Add(Neq(V(var(rng)), C(constant(rng))));
+        break;
+      case 2:
+        c.Add(Eq(V(var(rng)), V(var(rng))));
+        break;
+      default:
+        c.Add(Neq(V(var(rng)), V(var(rng))));
+        break;
+    }
+  }
+  return c;
+}
+
+class ConditionAlgebraDifferentialTest : public ::testing::TestWithParam<int> {
+};
+
+TEST_P(ConditionAlgebraDifferentialTest, BackendsAgreeWithSmallModelOracle) {
+  // Random And/Or trees over random conjunction leaves, built through both
+  // backends in lockstep; every verdict the fixpoint and the decision
+  // procedures rely on is compared between the backends and against the
+  // brute-force oracle. The oracle enumerates valuations over the mentioned
+  // constants (0..2) plus one fresh value per variable — complete for
+  // boolean combinations of =/!= atoms over the infinite domain, because
+  // any model collapses to one where each variable takes a mentioned
+  // constant or one of |vars| pairwise-distinct fresh values.
+  const unsigned case_seed = 11000 + static_cast<unsigned>(GetParam());
+  PW_DIFF_CASE(case_seed);
+  std::mt19937 rng(case_seed);
+
+  ConditionInterner interner;
+  std::unique_ptr<ConditionBackend> anti =
+      MakeConditionBackend(ConditionBackendKind::kConjunctions, interner);
+  std::unique_ptr<ConditionBackend> dd =
+      MakeConditionBackend(ConditionBackendKind::kDecisionDiagrams, interner);
+
+  constexpr int kVars = 3;
+  const std::vector<ConstId> domain = {0, 1, 2, 100, 101, 102};
+  std::vector<std::vector<ConstId>> valuations;
+  static_assert(kVars == 3, "the valuation odometer below is unrolled");
+  for (ConstId a : domain) {
+    for (ConstId b : domain) {
+      for (ConstId c : domain) {
+        valuations.push_back({a, b, c});
+      }
+    }
+  }
+
+  auto truth_of_conj = [&](ConjId id) {
+    std::vector<bool> truth(valuations.size());
+    for (size_t k = 0; k < valuations.size(); ++k) {
+      truth[k] = ConjHolds(interner, id, valuations[k]);
+    }
+    return truth;
+  };
+
+  struct Expr {
+    CondId anti;
+    CondId dd;
+    std::vector<bool> truth;
+  };
+  std::vector<Expr> exprs;
+  for (int i = 0; i < 6; ++i) {
+    ConjId leaf = interner.Intern(RandomAlgebraConjunction(rng));
+    exprs.push_back(
+        {anti->FromConj(leaf), dd->FromConj(leaf), truth_of_conj(leaf)});
+  }
+  std::uniform_int_distribution<int> coin(0, 1);
+  for (int step = 0; step < 10; ++step) {
+    std::uniform_int_distribution<size_t> pick(0, exprs.size() - 1);
+    Expr a = exprs[pick(rng)];
+    Expr b = exprs[pick(rng)];
+    bool is_and = coin(rng) == 0;
+    Expr out;
+    out.anti = is_and ? anti->And(a.anti, b.anti) : anti->Or(a.anti, b.anti);
+    out.dd = is_and ? dd->And(a.dd, b.dd) : dd->Or(a.dd, b.dd);
+    out.truth.resize(valuations.size());
+    for (size_t k = 0; k < valuations.size(); ++k) {
+      out.truth[k] =
+          is_and ? (a.truth[k] && b.truth[k]) : (a.truth[k] || b.truth[k]);
+    }
+    exprs.push_back(std::move(out));
+  }
+
+  ConjId global = interner.Intern(RandomAlgebraConjunction(rng));
+  const std::vector<bool> global_truth = truth_of_conj(global);
+
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    SCOPED_TRACE("expr #" + std::to_string(i));
+    const Expr& e = exprs[i];
+    bool oracle_sat = false;
+    bool oracle_sat_with = false;
+    bool oracle_valid = true;
+    bool oracle_taut = true;
+    for (size_t k = 0; k < valuations.size(); ++k) {
+      oracle_sat = oracle_sat || e.truth[k];
+      oracle_sat_with = oracle_sat_with || (global_truth[k] && e.truth[k]);
+      oracle_valid = oracle_valid && e.truth[k];
+      oracle_taut = oracle_taut && (!global_truth[k] || e.truth[k]);
+    }
+    EXPECT_EQ(anti->Satisfiable(e.anti), oracle_sat);
+    EXPECT_EQ(dd->Satisfiable(e.dd), oracle_sat);
+    EXPECT_EQ(anti->SatisfiableWith(global, e.anti), oracle_sat_with);
+    EXPECT_EQ(dd->SatisfiableWith(global, e.dd), oracle_sat_with);
+    EXPECT_EQ(anti->TautologyUnder(global, e.anti), oracle_taut);
+    EXPECT_EQ(dd->TautologyUnder(global, e.dd), oracle_taut);
+    EXPECT_EQ(
+        anti->TautologyUnder(ConditionInterner::kTrueConj, e.anti),
+        oracle_valid);
+    EXPECT_EQ(dd->TautologyUnder(ConditionInterner::kTrueConj, e.dd),
+              oracle_valid);
+
+    // The DNF expansions must represent exactly the expression's function.
+    const std::pair<ConditionBackend*, CondId> sides[] = {
+        {anti.get(), e.anti}, {dd.get(), e.dd}};
+    for (const auto& [backend, id] : sides) {
+      std::vector<ConjId> disjuncts;
+      backend->AppendDisjuncts(id, &disjuncts);
+      for (size_t k = 0; k < valuations.size(); ++k) {
+        bool holds = false;
+        for (ConjId d : disjuncts) {
+          if (ConjHolds(interner, d, valuations[k])) {
+            holds = true;
+            break;
+          }
+        }
+        ASSERT_EQ(holds, static_cast<bool>(e.truth[k]))
+            << backend->name() << " DNF expansion diverged at valuation " << k;
+      }
+    }
+  }
+
+  // Implication over every ordered pair — the antichain's subsumption
+  // verdict and the diagram's refutation check against the oracle.
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    for (size_t j = 0; j < exprs.size(); ++j) {
+      bool oracle_implies = true;
+      for (size_t k = 0; k < valuations.size(); ++k) {
+        oracle_implies =
+            oracle_implies && (!exprs[i].truth[k] || exprs[j].truth[k]);
+      }
+      EXPECT_EQ(anti->Implies(exprs[i].anti, exprs[j].anti), oracle_implies)
+          << "antichain Implies diverged on pair (" << i << ", " << j << ")";
+      EXPECT_EQ(dd->Implies(exprs[i].dd, exprs[j].dd), oracle_implies)
+          << "dd Implies diverged on pair (" << i << ", " << j << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConditionAlgebraDifferentialTest,
+                         ::testing::Range(0, 25));
+
+// --- Family 8: decision-diagram fixpoints ----------------------------------
+
+class DDFixpointDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DDFixpointDifferentialTest, StrategiesConfluentAndWorldsMatch) {
+  // On the decision-diagram backend each tuple's derivations merge into one
+  // canonical diagram, so strategy choice (semi-naive/naive/scan, and the
+  // shared-interner parallel runner) must not even reorder the exported
+  // DNF's disjuncts per tuple — the row sets are identical. Against the
+  // antichain backend the comparison is per-world (the two backends pick
+  // different covering DNFs of the same world-set), and the dd image must
+  // satisfy the per-world fixpoint oracle directly.
+  const unsigned case_seed = 12000 + static_cast<unsigned>(GetParam());
+  PW_DIFF_CASE(case_seed);
+  std::mt19937 rng(case_seed);
+  for (int round = 0; round < 2; ++round) {
+    DatalogProgram program = RandomDatalogProgram(rng);
+    RandomCTableOptions options = testutil::SmallCTableOptions(
+        /*arity=*/2, /*num_rows=*/3, /*num_constants=*/3, /*num_variables=*/2,
+        /*num_local_atoms=*/GetParam() % 2,
+        /*num_global_atoms=*/GetParam() % 2);
+    CTable t = RandomCTable(options, rng);
+    CDatabase db{t};
+
+    DatalogCTableOptions dd_semi;
+    dd_semi.condition_backend = ConditionBackendKind::kDecisionDiagrams;
+    DatalogCTableOptions dd_naive = dd_semi;
+    dd_naive.semi_naive = false;
+    DatalogCTableOptions dd_scan = dd_semi;
+    dd_scan.use_index = false;
+    CDatabase semi = DatalogOnCTables(program, db, nullptr, dd_semi);
+    CDatabase naive = DatalogOnCTables(program, db, nullptr, dd_naive);
+    CDatabase scanned = DatalogOnCTables(program, db, nullptr, dd_scan);
+
+    ConditionInterner shared_interner;
+    shared_interner.EnableSharing();
+    DatalogCTableOptions dd_par = dd_semi;
+    dd_par.interner = &shared_interner;
+    dd_par.num_threads = 4;
+    CDatabase parallel = DatalogOnCTables(program, db, nullptr, dd_par);
+
+    DatalogCTableOptions antichain;
+    antichain.condition_backend = ConditionBackendKind::kConjunctions;
+    CDatabase anti = DatalogOnCTables(program, db, nullptr, antichain);
+
+    ASSERT_EQ(semi.num_tables(), naive.num_tables());
+    for (size_t p = 0; p < semi.num_tables(); ++p) {
+      EXPECT_EQ(CanonicalRowSet(semi.table(p)), CanonicalRowSet(naive.table(p)))
+          << "dd semi-naive diverged from naive on predicate " << p << "\n"
+          << program.ToString() << FormatCTable(t);
+      EXPECT_EQ(CanonicalRowSet(semi.table(p)),
+                CanonicalRowSet(scanned.table(p)))
+          << "dd indexed join diverged from scan on predicate " << p << "\n"
+          << program.ToString() << FormatCTable(t);
+      EXPECT_EQ(CanonicalRowSet(semi.table(p)),
+                CanonicalRowSet(parallel.table(p)))
+          << "dd parallel runner diverged from sequential on predicate " << p
+          << "\n"
+          << program.ToString() << FormatCTable(t);
+    }
+
+    std::vector<ConstId> extra;
+    for (ConstId c = 0; c <= 3; ++c) extra.push_back(c);
+    EXPECT_EQ(testutil::CanonicalWorlds(semi, extra),
+              testutil::CanonicalWorlds(anti, extra))
+        << "dd fixpoint represents different worlds than the antichain on\n"
+        << program.ToString() << FormatCTable(t);
+
+    ExpectRepresentsFixpointOfEveryWorld(program, db, semi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DDFixpointDifferentialTest,
+                         ::testing::Range(0, 15));
+
+// --- Family 9: certainty across backends -----------------------------------
+
+class CertaintyBackendDifferentialTest : public ::testing::TestWithParam<int> {
+};
+
+TEST_P(CertaintyBackendDifferentialTest, CertainFactAgreesAcrossBackends) {
+  // CertainFactInTable decides `global -> OR over matching rows` — through
+  // the DD backend as one Not/And/Satisfiable pass, through the conjunctive
+  // backend as the exact backtracking disjunction check. Both must agree
+  // with each other and with the independent clause-CSP world search on
+  // every candidate fact (present, conditioned, and absent ones alike).
+  const unsigned case_seed = 13000 + static_cast<unsigned>(GetParam());
+  PW_DIFF_CASE(case_seed);
+  std::mt19937 rng(case_seed);
+  for (int round = 0; round < 3; ++round) {
+    RandomCTableOptions options = testutil::SmallCTableOptions(
+        /*arity=*/2, /*num_rows=*/3, /*num_constants=*/3, /*num_variables=*/2,
+        /*num_local_atoms=*/GetParam() % 2,
+        /*num_global_atoms=*/GetParam() % 2);
+    CTable t = RandomCTable(options, rng);
+    CDatabase db{t};
+
+    ConditionInterner interner;
+    std::unique_ptr<ConditionBackend> anti =
+        MakeConditionBackend(ConditionBackendKind::kConjunctions, interner);
+    std::unique_ptr<ConditionBackend> dd =
+        MakeConditionBackend(ConditionBackendKind::kDecisionDiagrams, interner);
+    ConjId global = t.GlobalId(interner);
+
+    for (ConstId a = 0; a <= 3; ++a) {
+      for (ConstId b = 0; b <= 3; ++b) {
+        Fact fact{a, b};
+        bool via_anti = CertainFactInTable(t, fact, global, *anti);
+        bool via_dd = CertainFactInTable(t, fact, global, *dd);
+        EXPECT_EQ(via_anti, via_dd)
+            << "backends disagree on certainty of (" << a << ", " << b
+            << ") in\n"
+            << FormatCTable(t);
+        bool via_search = !ExistsWorldMissingFact(db, 0, fact);
+        EXPECT_EQ(via_dd, via_search)
+            << "backend certainty diverged from the world search on (" << a
+            << ", " << b << ") in\n"
+            << FormatCTable(t);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CertaintyBackendDifferentialTest,
+                         ::testing::Range(0, 15));
 
 }  // namespace
 }  // namespace pw

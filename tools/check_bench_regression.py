@@ -17,10 +17,15 @@ each fast-path benchmark with its seed-path twin by name:
     *_Snapshot/N       vs  *_Direct/N        (versioned snapshot reads over
                                               the shared interner vs direct
                                               single-thread reads)
+    *_DDBackend/N      vs  *_Antichain/N     (decision-diagram condition
+                                              backend vs the conjunctive
+                                              antichain backend, gated at a
+                                              tightened 1.2x)
 
 Exits nonzero when any fast path takes more than --max-ratio times its seed
-pair (default 2.0, the CI regression budget), or when no pair was found at
-all (which means the bench names drifted and the gate is vacuous).
+pair (default 2.0, the CI regression budget; pairs may carry a tighter
+per-pair limit), or when no pair was found at all (which means the bench
+names drifted and the gate is vacuous).
 
 Additionally, with --min-scale > 0, enforces the concurrency scaling gate:
 for every benchmark family named `<base>/N` (with N a thread count) that
@@ -28,6 +33,14 @@ reports items_per_second and contains "Snapshot", the N = --scale-threads
 run must process at least --min-scale times the items/sec of the N = 1 run.
 A collapse here means a lock serialized the readers. The gate fails as
 vacuous if --min-scale is set but no such family exists in the input.
+
+With --dd-speedup-floor > 0 (default 5.0), enforces the condition-diversity
+blowup gate: for every *_DDBackend family swept over sizes `<base>/N`, the
+antichain twin at the LARGEST common N must take at least that factor longer
+— the whole point of the diagram backend is killing the antichain's
+exponential growth at high condition diversity, so a collapse to parity at
+the big sizes is a regression even though the pairwise 1.2x check passes.
+Fails as vacuous when the floor is set but no such family pair exists.
 """
 
 import argparse
@@ -35,10 +48,15 @@ import json
 import re
 import sys
 
-PAIRS = [("SemiNaive", "Naive"), ("InternedPath", "SeedPath"),
-         ("HashJoin", "NestedLoop"), ("IndexedJoin", "ScanJoin"),
-         ("PlannedJoin", "BinaryFusion"), ("Magic", "FullFixpoint"),
-         ("Incremental", "Recompute"), ("Snapshot", "Direct")]
+# (fast_tag, seed_tag, per-pair max ratio or None for the --max-ratio
+# default). The DDBackend pair runs tighter: the diagram backend must never
+# lose the low-diversity end of its sweep by more than 1.2x.
+PAIRS = [("SemiNaive", "Naive", None), ("InternedPath", "SeedPath", None),
+         ("HashJoin", "NestedLoop", None), ("IndexedJoin", "ScanJoin", None),
+         ("PlannedJoin", "BinaryFusion", None),
+         ("Magic", "FullFixpoint", None),
+         ("Incremental", "Recompute", None), ("Snapshot", "Direct", None),
+         ("DDBackend", "Antichain", 1.2)]
 
 THREADED_NAME = re.compile(r"^(?P<base>.+)/(?P<n>\d+)(?:/real_time)?$")
 
@@ -62,22 +80,53 @@ def check_pairs(benchmarks, max_ratio):
     failures = []
     checked = 0
     for name in sorted(benchmarks):
-        for fast_tag, seed_tag in PAIRS:
+        for fast_tag, seed_tag, pair_ratio in PAIRS:
             if fast_tag not in name:
                 continue
             seed_name = name.replace(fast_tag, seed_tag)
             if seed_name == name or seed_name not in benchmarks:
                 continue
             checked += 1
+            limit = pair_ratio if pair_ratio is not None else max_ratio
             fast_time, unit, _ = benchmarks[name]
             seed_time, _, _ = benchmarks[seed_name]
             ratio = fast_time / seed_time if seed_time > 0 else 0.0
-            status = "FAIL" if ratio > max_ratio else "ok"
+            status = "FAIL" if ratio > limit else "ok"
             print(f"[{status}] {name}: {fast_time:.0f}{unit} vs "
                   f"{seed_name}: {seed_time:.0f}{unit} (ratio {ratio:.2f}, "
-                  f"limit {max_ratio:.2f})")
-            if ratio > max_ratio:
+                  f"limit {limit:.2f})")
+            if ratio > limit:
                 failures.append(name)
+    return checked, failures
+
+
+def check_dd_speedup(benchmarks, floor):
+    """seed/fast at the largest size of every DDBackend sweep >= floor."""
+    families = {}
+    for name, (fast_time, unit, _) in benchmarks.items():
+        if "DDBackend" not in name:
+            continue
+        m = THREADED_NAME.match(name)
+        if m is None:
+            continue
+        seed_name = name.replace("DDBackend", "Antichain")
+        if seed_name not in benchmarks:
+            continue
+        families.setdefault(m.group("base"), {})[int(m.group("n"))] = \
+            (fast_time, benchmarks[seed_name][0], unit)
+    failures = []
+    checked = 0
+    for base in sorted(families):
+        checked += 1
+        largest = max(families[base])
+        fast_time, seed_time, unit = families[base][largest]
+        speedup = seed_time / fast_time if fast_time > 0 else 0.0
+        status = "FAIL" if speedup < floor else "ok"
+        print(f"[{status}] {base}/{largest}: {fast_time:.0f}{unit} vs "
+              f"antichain {seed_time:.0f}{unit} "
+              f"(speedup {speedup:.1f}x, floor {floor:.1f}x)")
+        if speedup < floor:
+            failures.append(base)
     return checked, failures
 
 
@@ -123,6 +172,9 @@ def main():
     parser.add_argument("--scale-threads", type=int, default=4,
                         help="thread count the scaling gate compares against "
                              "the 1-thread run (default 4)")
+    parser.add_argument("--dd-speedup-floor", type=float, default=5.0,
+                        help="minimum antichain/DD time factor at the largest "
+                             "size of every *_DDBackend sweep (0 disables)")
     args = parser.parse_args()
 
     benchmarks = load_benchmarks(args.json_files)
@@ -143,6 +195,16 @@ def main():
                   "the scaling gate is vacuous", file=sys.stderr)
             return 1
         failures += scale_failures
+
+    if args.dd_speedup_floor > 0:
+        dd_checked, dd_failures = check_dd_speedup(
+            benchmarks, args.dd_speedup_floor)
+        if dd_checked == 0:
+            print("error: --dd-speedup-floor set but no DDBackend/Antichain "
+                  "benchmark family was found; the diversity gate is vacuous",
+                  file=sys.stderr)
+            return 1
+        failures += dd_failures
 
     if failures:
         print(f"{len(failures)} of {checked} gated paths failed",
