@@ -337,6 +337,84 @@ BENCHMARK(BM_ConditionedTC_NullChainDiversity_Antichain)
     ->DenseRange(6, 12, 3)
     ->Unit(benchmark::kMicrosecond);
 
+// Stratum scheduling on a layered multi-SCC program: transitive closure at
+// the bottom (the only recursive SCC), then a cascade of nonrecursive join
+// layers, plus a dead rule guarded by a rule-less predicate. The monolithic
+// schedule sweeps every rule in every delta round until the whole program
+// converges; the stratum schedule (the default) evaluates SCCs in
+// topological order — delta rounds confined to the bottom SCC, one pass per
+// nonrecursive layer, the dead rule skipped outright. Same rows either way
+// (the differential suite pins the identity); this pair measures the
+// scheduling overhead shed. Paired as *_StratumSched / *_Monolithic for the
+// CI gate.
+DatalogProgram LayeredCascade() {
+  constexpr int kLayers = 6;
+  // Predicates: 0 = edge (EDB), 1 = tc (recursive), 2..1+kLayers the
+  // nonrecursive cascade, 2+kLayers = barren (no rules; bodies naming it
+  // are dead).
+  const int barren = 2 + kLayers;
+  DatalogProgram p(std::vector<int>(static_cast<size_t>(barren) + 1, 2), 1);
+  DatalogRule base;
+  base.head = {1, Tuple{V(100), V(101)}};
+  base.body = {{0, Tuple{V(100), V(101)}}};
+  p.AddRule(base);
+  DatalogRule step;
+  step.head = {1, Tuple{V(100), V(102)}};
+  step.body = {{1, Tuple{V(100), V(101)}}, {0, Tuple{V(101), V(102)}}};
+  p.AddRule(step);
+  for (int l = 0; l < kLayers; ++l) {
+    const int head = 2 + l;
+    DatalogRule copy;
+    copy.head = {head, Tuple{V(100), V(101)}};
+    copy.body = {{head - 1, Tuple{V(100), V(101)}}};
+    p.AddRule(copy);
+    DatalogRule join;
+    join.head = {head, Tuple{V(100), V(102)}};
+    join.body = {{head - 1, Tuple{V(100), V(101)}},
+                 {0, Tuple{V(101), V(102)}}};
+    p.AddRule(join);
+  }
+  DatalogRule dead;
+  dead.head = {2 + kLayers - 1, Tuple{V(100), V(101)}};
+  dead.body = {{1, Tuple{V(100), V(101)}}, {barren, Tuple{V(100), V(101)}}};
+  p.AddRule(dead);
+  return p;
+}
+
+void RunLayered(benchmark::State& state, bool stratum, const char* label) {
+  CDatabase db = NullChain(static_cast<int>(state.range(0)), /*gap=*/0);
+  DatalogProgram cascade = LayeredCascade();
+  DatalogCTableOptions options;
+  options.stratum_schedule = stratum;
+  ConditionedFixpointStats stats;
+  for (auto _ : state) {
+    CDatabase out = DatalogOnCTables(cascade, db, &stats, options);
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["rows"] = static_cast<double>(stats.derived_rows);
+  state.counters["rounds"] = static_cast<double>(stats.rounds);
+  state.counters["strata"] = static_cast<double>(stats.strata);
+  state.counters["dead_skipped"] =
+      static_cast<double>(stats.dead_rules_skipped);
+  state.SetLabel(label);
+}
+
+void BM_ConditionedLayers_Cascade_StratumSched(benchmark::State& state) {
+  RunLayered(state, /*stratum=*/true,
+             "layered cascade, SCC-scheduled semi-naive");
+}
+BENCHMARK(BM_ConditionedLayers_Cascade_StratumSched)
+    ->DenseRange(8, 24, 8)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ConditionedLayers_Cascade_Monolithic(benchmark::State& state) {
+  RunLayered(state, /*stratum=*/false,
+             "layered cascade, monolithic all-rules semi-naive");
+}
+BENCHMARK(BM_ConditionedLayers_Cascade_Monolithic)
+    ->DenseRange(8, 24, 8)
+    ->Unit(benchmark::kMicrosecond);
+
 // One shared null across every gap: the same handful of conditions recurs in
 // every derivation, so the memoized And/Implies caches and the (tuple, id)
 // duplicate check carry the load.

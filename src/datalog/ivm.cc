@@ -180,29 +180,15 @@ void MaterializedView::Delete(int pred, const Fact& fact) {
 }
 
 std::vector<bool> MaterializedView::ConeOf(int pred) const {
-  // Taint-propagate over head <- body edges to a fixpoint: any rule whose
-  // body mentions a tainted predicate taints its head. Closure makes
-  // RunCone's rule filter sound — a rule outside the cone cannot mention a
-  // cone predicate. The seed `pred` itself is extensional (rule heads are
-  // intensional by construction), so the mask doubles as the head filter.
-  std::vector<bool> tainted(evaluated_->num_predicates(), false);
-  tainted[static_cast<size_t>(pred)] = true;
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (const DatalogRule& rule : evaluated_->rules()) {
-      if (tainted[static_cast<size_t>(rule.head.predicate)]) continue;
-      for (const DatalogAtom& atom : rule.body) {
-        if (tainted[static_cast<size_t>(atom.predicate)]) {
-          tainted[static_cast<size_t>(rule.head.predicate)] = true;
-          changed = true;
-          break;
-        }
-      }
-    }
-  }
-  tainted[static_cast<size_t>(pred)] = false;  // reseeded, not re-derived
-  return tainted;
+  // The fixpoint's program analysis precomputes every reachability cone
+  // (closed over body -> head edges, so RunCone's rule filter is sound: a
+  // rule outside the cone cannot mention a cone predicate). The seed `pred`
+  // itself is extensional (rule heads are intensional by construction) and
+  // is reseeded rather than re-derived, so its bit clears — the mask
+  // doubles as the head filter.
+  std::vector<bool> cone = fix_->analysis().Cone(pred);
+  cone[static_cast<size_t>(pred)] = false;
+  return cone;
 }
 
 CDatabase MaterializedView::Materialized() const {

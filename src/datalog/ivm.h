@@ -158,8 +158,9 @@ class MaterializedView {
   /// True iff `pred` names a base (EDB) predicate with a backing table —
   /// the unconditional precondition of the public update entry points.
   bool ValidBasePred(int pred) const;
-  /// Head predicates transitively derivable from `pred` (reachability over
-  /// rule head<-body dependencies, closed), as a num_predicates mask.
+  /// Head predicates transitively derivable from `pred` (the fixpoint
+  /// analysis's precomputed reachability cone, minus the reseeded `pred`
+  /// itself), as a num_predicates mask.
   std::vector<bool> ConeOf(int pred) const;
 
   DatalogProgram original_;

@@ -6,6 +6,8 @@
 #include <set>
 #include <utility>
 
+#include "datalog/analysis.h"
+
 namespace pw {
 
 namespace {
@@ -48,11 +50,27 @@ std::set<VarId> HeadBoundVars(const DatalogAtom& head, Adornment adornment) {
   return bound;
 }
 
+/// The rules the rewrite should ignore: rules the program analysis proves
+/// can never fire (a body predicate underivable from the extensional
+/// database) or that textually duplicate an earlier rule (whose adorned and
+/// demand forms would be emitted — and deduped — anyway). Pruning them
+/// before adornment discovery keeps dead demand chains out of the rewritten
+/// program entirely.
+std::vector<bool> DeadRules(const ProgramAnalysis& analysis) {
+  std::vector<bool> dead(analysis.program().rules().size(), false);
+  for (size_t r = 0; r < dead.size(); ++r) {
+    dead[r] = analysis.RuleDead(r);
+  }
+  return dead;
+}
+
 /// Adornment discovery: the (predicate, binding pattern) pairs reachable
 /// from the goal's demand, breadth-first so the goal is pair 0. `pair_index`
-/// maps each pair to its position in the returned list.
+/// maps each pair to its position in the returned list. Rules flagged in
+/// `dead` generate no demand.
 std::vector<std::pair<int, Adornment>> DiscoverAdornedPairs(
     const DatalogProgram& program, const DatalogGoal& goal,
+    const std::vector<bool>& dead,
     std::map<std::pair<int, Adornment>, size_t>& pair_index) {
   std::vector<std::pair<int, Adornment>> pairs;
   auto discover = [&](int pred, Adornment a) {
@@ -62,8 +80,9 @@ std::vector<std::pair<int, Adornment>> DiscoverAdornedPairs(
   discover(goal.predicate, goal.adornment());
   for (size_t next = 0; next < pairs.size(); ++next) {
     auto [pred, adornment] = pairs[next];
-    for (const DatalogRule& rule : program.rules()) {
-      if (rule.head.predicate != pred) continue;
+    for (size_t r = 0; r < program.rules().size(); ++r) {
+      const DatalogRule& rule = program.rules()[r];
+      if (dead[r] || rule.head.predicate != pred) continue;
       std::set<VarId> bound = HeadBoundVars(rule.head, adornment);
       for (const DatalogAtom& atom : rule.body) {
         if (program.IsIdb(atom.predicate)) {
@@ -134,9 +153,14 @@ MagicRewriteResult MagicRewrite(const DatalogProgram& program,
     return out;
   }
 
+  const ProgramAnalysis analysis(program);
+  const std::vector<bool> dead = DeadRules(analysis);
+  out.rules_pruned =
+      static_cast<size_t>(std::count(dead.begin(), dead.end(), true));
+
   std::map<std::pair<int, Adornment>, size_t> pair_index;
   std::vector<std::pair<int, Adornment>> pairs =
-      DiscoverAdornedPairs(program, goal, pair_index);
+      DiscoverAdornedPairs(program, goal, dead, pair_index);
 
   // --- Predicate layout: extensional unchanged, then the adorned pairs,
   // then their magic counterparts.
@@ -181,8 +205,9 @@ MagicRewriteResult MagicRewrite(const DatalogProgram& program,
         BoundArgs(atom, a)};
   };
   for (auto [pred, adornment] : pairs) {
-    for (const DatalogRule& rule : program.rules()) {
-      if (rule.head.predicate != pred) continue;
+    for (size_t r = 0; r < program.rules().size(); ++r) {
+      const DatalogRule& rule = program.rules()[r];
+      if (dead[r] || rule.head.predicate != pred) continue;
       DatalogAtom guard = magic_atom(rule.head, adornment);
       DatalogRule guarded;
       guarded.head = adorned_atom(rule.head, adornment);
@@ -232,9 +257,10 @@ MagicRewriteResult MagicRewrite(const DatalogProgram& program,
 
 bool DemandStaysBound(const DatalogProgram& program, const DatalogGoal& goal) {
   if (!program.IsIdb(goal.predicate)) return true;
+  const ProgramAnalysis analysis(program);
   std::map<std::pair<int, Adornment>, size_t> pair_index;
   for (auto [pred, adornment] :
-       DiscoverAdornedPairs(program, goal, pair_index)) {
+       DiscoverAdornedPairs(program, goal, DeadRules(analysis), pair_index)) {
     if (adornment == 0) return false;
   }
   return true;

@@ -91,6 +91,9 @@ struct MagicRewriteResult {
   std::vector<AdornedPredicate> adorned;  // discovery order; [0] is the goal
   size_t rules_adorned = 0;  // guarded rules (source rule x head adornment)
   size_t magic_rules = 0;    // demand rules, the seed fact included
+  size_t rules_pruned = 0;   // source rules dropped before adorning: dead
+                             // (a body predicate underivable from the EDB)
+                             // or textual duplicates of an earlier rule
   std::vector<std::string> names;  // per-predicate debug names: extensional
                                    // "P0", adorned "P2#bf", magic "m.P2#bf"
 

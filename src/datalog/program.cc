@@ -1,44 +1,11 @@
 #include "datalog/program.h"
 
-#include <set>
+#include "datalog/analysis.h"
 
 namespace pw {
 
 std::string DatalogProgram::Validate() const {
-  for (size_t r = 0; r < rules_.size(); ++r) {
-    const DatalogRule& rule = rules_[r];
-    auto check_atom = [this](const DatalogAtom& a) -> std::string {
-      if (a.predicate < 0 ||
-          a.predicate >= static_cast<int>(arities_.size())) {
-        return "unknown predicate " + std::to_string(a.predicate);
-      }
-      if (static_cast<int>(a.args.size()) != arities_[a.predicate]) {
-        return "arity mismatch on predicate " + std::to_string(a.predicate);
-      }
-      return "";
-    };
-    if (std::string err = check_atom(rule.head); !err.empty()) {
-      return "rule " + std::to_string(r) + ": head: " + err;
-    }
-    if (!IsIdb(rule.head.predicate)) {
-      return "rule " + std::to_string(r) + ": head predicate is extensional";
-    }
-    std::set<VarId> body_vars;
-    for (const DatalogAtom& a : rule.body) {
-      if (std::string err = check_atom(a); !err.empty()) {
-        return "rule " + std::to_string(r) + ": body: " + err;
-      }
-      for (const Term& t : a.args) {
-        if (t.is_variable()) body_vars.insert(t.variable());
-      }
-    }
-    for (const Term& t : rule.head.args) {
-      if (t.is_variable() && body_vars.count(t.variable()) == 0) {
-        return "rule " + std::to_string(r) + ": not range-restricted";
-      }
-    }
-  }
-  return "";
+  return ProgramAnalysis(*this).ErrorString();
 }
 
 std::string DatalogProgram::ToString() const {

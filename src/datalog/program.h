@@ -8,6 +8,8 @@
 #ifndef PW_DATALOG_PROGRAM_H_
 #define PW_DATALOG_PROGRAM_H_
 
+#include <algorithm>
+#include <cassert>
 #include <string>
 #include <vector>
 
@@ -38,15 +40,23 @@ class DatalogProgram {
   DatalogProgram() = default;
 
   /// `arities[p]` is the arity of predicate p; predicates [0, num_edb) are
-  /// extensional.
+  /// extensional. `num_edb` is clamped to the predicate count so IsIdb stays
+  /// meaningful on malformed input (and asserts in debug builds).
   DatalogProgram(std::vector<int> arities, size_t num_edb)
-      : arities_(std::move(arities)), num_edb_(num_edb) {}
+      : arities_(std::move(arities)),
+        num_edb_(std::min(num_edb, arities_.size())) {
+    assert(num_edb <= arities_.size());
+  }
 
   void AddRule(DatalogRule rule) { rules_.push_back(std::move(rule)); }
 
   size_t num_predicates() const { return arities_.size(); }
   size_t num_edb() const { return num_edb_; }
-  int arity(int predicate) const { return arities_[predicate]; }
+  int arity(int predicate) const {
+    assert(predicate >= 0 &&
+           static_cast<size_t>(predicate) < arities_.size());
+    return arities_.at(static_cast<size_t>(predicate));
+  }
   const std::vector<DatalogRule>& rules() const { return rules_; }
 
   bool IsIdb(int predicate) const {
@@ -54,8 +64,9 @@ class DatalogProgram {
   }
 
   /// Structural sanity: arities match, heads are intensional, rules are
-  /// range-restricted (every head variable occurs in the body). Returns an
-  /// error description or "" if valid.
+  /// range-restricted (every head variable occurs in the body). Thin wrapper
+  /// over ProgramAnalysis that joins **all** errors (one per line), or ""
+  /// if valid; see datalog/analysis.h for structured diagnostics.
   std::string Validate() const;
 
   std::string ToString() const;

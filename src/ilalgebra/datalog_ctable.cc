@@ -618,20 +618,35 @@ bool ReplaySlice(EvalState& state, const DatalogRule& rule,
   return added;
 }
 
-/// One parallel semi-naive round over `rules` (restricted to cone heads
-/// when `cone_heads` is set). Mirrors the sequential round loop: same
-/// firing enumeration, same depth-0 probe planning (counted into the same
-/// stats), with generation fanned out over `pool` and a sequential replay.
-/// Returns true if any row was added.
+/// One sequential semi-naive round over the listed rules (in list order):
+/// fires each rule once per body position whose predicate has a nonempty
+/// delta window. Returns true if any row was added.
+bool SequentialRound(EvalState& state, const DatalogProgram& program,
+                     const std::vector<size_t>& rule_ids) {
+  bool changed = false;
+  for (size_t r : rule_ids) {
+    const DatalogRule& rule = program.rules()[r];
+    for (size_t pos = 0; pos < rule.body.size() && !state.aborted; ++pos) {
+      const PredState& ps = state.preds[rule.body[pos].predicate];
+      if (ps.delta_begin == ps.delta_end) continue;
+      changed |= FireRule(state, rule, static_cast<int>(pos));
+    }
+  }
+  return changed;
+}
+
+/// One parallel semi-naive round over the listed rules. Mirrors
+/// SequentialRound exactly: same firing enumeration in the same order, same
+/// depth-0 probe planning (counted into the same stats), with generation
+/// fanned out over `pool` and a sequential replay. Returns true if any row
+/// was added.
 bool ParallelRound(EvalState& state, const DatalogProgram& program,
-                   const std::vector<bool>* cone_heads, ThreadPool& pool,
+                   const std::vector<size_t>& rule_ids, ThreadPool& pool,
                    std::vector<WorkerScratch>& scratch) {
   std::vector<Firing> firings;
   size_t total_outer = 0;
-  for (const DatalogRule& rule : program.rules()) {
-    if (cone_heads != nullptr && !(*cone_heads)[rule.head.predicate]) {
-      continue;
-    }
+  for (size_t r : rule_ids) {
+    const DatalogRule& rule = program.rules()[r];
     for (size_t pos = 0; pos < rule.body.size(); ++pos) {
       PredState& ps = state.preds[rule.body[pos].predicate];
       if (ps.delta_begin == ps.delta_end) continue;
@@ -706,6 +721,18 @@ bool ParallelRound(EvalState& state, const DatalogProgram& program,
 struct ConditionedFixpoint::Impl {
   const DatalogProgram* program = nullptr;
   bool semi_naive = true;
+  bool stratum = true;
+  // Static analysis of `program` (SCC strata in topological order, dead
+  // rules, cones), computed once at construction; the stratum schedule and
+  // IVM both run off it.
+  std::unique_ptr<ProgramAnalysis> analysis;
+  // seen[scc][pred]: how many of `pred`'s rows SCC `scc`'s rules have
+  // already consumed (joined against every relevant combination). The SCC's
+  // delta on the next Run() is [seen, rows.size()) — the stratum-schedule
+  // equivalent of the monolithic delta windows, kept per SCC because
+  // different strata consume the same predicate at different times.
+  // ClearPredicate resets a predicate's column.
+  std::vector<std::vector<size_t>> seen;
   // The condition representation of this fixpoint's rows; state.backend
   // points here. Declared before `state` only for clarity — construction
   // wires both explicitly.
@@ -750,6 +777,131 @@ struct ConditionedFixpoint::Impl {
     }
     return true;
   }
+
+  /// Stratum-scheduled semi-naive evaluation: the SCCs of the predicate
+  /// dependency graph run in topological order, so each stratum joins only
+  /// against fully converged inputs — on conditioned data, the final
+  /// antichain of the lower strata rather than intermediate conditions that
+  /// later subsumption would kill. A nonrecursive stratum converges in a
+  /// single pass; a recursive one runs delta rounds confined to its own
+  /// rules. Rules that cannot fire this run (underivable body predicate,
+  /// textual duplicates) are skipped up front. With `cone_heads` set
+  /// (RunCone), rules are additionally restricted to cone heads and every
+  /// window opens at 0 — the cleared predicates' derivations are gone, so
+  /// each stratum re-enumerates all combinations, exactly like the
+  /// monolithic RunCone. Emits the same row set as the monolithic schedule:
+  /// the per-tuple antichain (or DD Or-merge) is a function of the set of
+  /// derivable conditions, not of the order they arrive in, and
+  /// CanonicalLeaf makes each combination's emission order-canonical.
+  void StratifiedRun(const std::vector<bool>* cone_heads) {
+    EvalState& st = state;
+    const ProgramAnalysis& an = *analysis;
+    const auto& rules = program->rules();
+
+    // Dynamic derivability for this run: a predicate can contribute rows if
+    // it is extensional, already has rows (Seed/FireGroundRules may put
+    // rows anywhere), or heads a rule whose body is all-derivable. A rule
+    // mentioning an underivable predicate enumerates zero combinations in
+    // every round of this run — skip it without firing.
+    std::vector<bool> derivable(st.preds.size());
+    for (size_t p = 0; p < st.preds.size(); ++p) {
+      derivable[p] = p < program->num_edb() || !st.preds[p].rows.empty();
+    }
+    for (bool grew = true; grew;) {
+      grew = false;
+      for (const DatalogRule& rule : rules) {
+        if (derivable[static_cast<size_t>(rule.head.predicate)]) continue;
+        bool all = true;
+        for (const DatalogAtom& a : rule.body) {
+          if (!derivable[static_cast<size_t>(a.predicate)]) {
+            all = false;
+            break;
+          }
+        }
+        if (all) {
+          derivable[static_cast<size_t>(rule.head.predicate)] = true;
+          grew = true;
+        }
+      }
+    }
+
+    std::vector<size_t> live;
+    for (int scc = 0; scc < an.num_sccs(); ++scc) {
+      if (st.aborted) return;
+      live.clear();
+      for (size_t r : an.SccRules(scc)) {
+        if (rules[r].body.empty()) continue;  // ground rules fire elsewhere
+        if (cone_heads != nullptr &&
+            !(*cone_heads)[static_cast<size_t>(rules[r].head.predicate)]) {
+          continue;
+        }
+        bool dead = an.RuleDuplicate(r);
+        for (const DatalogAtom& a : rules[r].body) {
+          if (dead) break;
+          if (!derivable[static_cast<size_t>(a.predicate)]) dead = true;
+        }
+        if (dead) {
+          ++st.stats.dead_rules_skipped;
+          continue;
+        }
+        live.push_back(r);
+      }
+
+      std::vector<size_t>& seen_scc = seen[static_cast<size_t>(scc)];
+      if (!live.empty()) {
+        // This SCC's pending delta: rows past its seen watermark (all rows
+        // in cone mode — the cleared predicates' derivations are gone).
+        for (size_t p = 0; p < st.preds.size(); ++p) {
+          PredState& ps = st.preds[p];
+          ps.delta_begin = cone_heads != nullptr ? 0 : seen_scc[p];
+          ps.delta_end = ps.rows.size();
+        }
+        bool any_delta = false;
+        for (size_t r : live) {
+          for (const DatalogAtom& a : rules[r].body) {
+            const PredState& ps = st.preds[static_cast<size_t>(a.predicate)];
+            if (ps.delta_begin != ps.delta_end) {
+              any_delta = true;
+              break;
+            }
+          }
+          if (any_delta) break;
+        }
+        if (any_delta) {
+          ++st.stats.strata;
+          if (!an.SccRecursive(scc)) {
+            // Nonrecursive stratum: none of its rules read what it derives,
+            // so one pass over the delta is the fixpoint.
+            ++st.stats.rounds;
+            if (UseParallelRound()) {
+              ParallelRound(st, *program, live, *pool, scratch);
+            } else {
+              SequentialRound(st, *program, live);
+            }
+          } else {
+            bool changed = true;
+            while (changed && !st.aborted) {
+              changed = false;
+              ++st.stats.rounds;
+              if (UseParallelRound()) {
+                changed = ParallelRound(st, *program, live, *pool, scratch);
+              } else {
+                changed = SequentialRound(st, *program, live);
+              }
+              AdvanceDeltas(st);
+            }
+          }
+        }
+      }
+      if (st.aborted) return;
+      // Everything below the current row counts is consumed: this SCC's
+      // body predicates live in SCCs <= scc, whose row counts are final for
+      // this run once the SCC converges.
+      for (size_t p = 0; p < st.preds.size(); ++p) {
+        seen_scc[p] = st.preds[p].rows.size();
+      }
+    }
+  }
 };
 
 ConditionedFixpoint::ConditionedFixpoint(const DatalogProgram& program,
@@ -757,6 +909,11 @@ ConditionedFixpoint::ConditionedFixpoint(const DatalogProgram& program,
     : impl_(std::make_unique<Impl>()) {
   impl_->program = &program;
   impl_->semi_naive = options.semi_naive;
+  impl_->stratum = options.stratum_schedule;
+  impl_->analysis = std::make_unique<ProgramAnalysis>(program);
+  impl_->seen.assign(
+      static_cast<size_t>(impl_->analysis->num_sccs()),
+      std::vector<size_t>(program.num_predicates(), 0));
   EvalState& state = impl_->state;
   state.interner = options.interner != nullptr ? options.interner
                                                : &ConditionInterner::Global();
@@ -784,6 +941,10 @@ ConditionInterner& ConditionedFixpoint::interner() const {
 
 ConditionBackend& ConditionedFixpoint::backend() const {
   return *impl_->backend;
+}
+
+const ProgramAnalysis& ConditionedFixpoint::analysis() const {
+  return *impl_->analysis;
 }
 
 void ConditionedFixpoint::SetGlobal(ConjId global_id) {
@@ -818,27 +979,29 @@ void ConditionedFixpoint::FireGroundRules() {
 
 void ConditionedFixpoint::Run() {
   EvalState& state = impl_->state;
+  if (impl_->semi_naive && impl_->stratum) {
+    // The stratum schedule tracks consumption per SCC as watermarks, not
+    // windows: rows seeded (or ground-fired) since the last convergence sit
+    // past each SCC's seen mark and become its delta when its turn comes.
+    impl_->StratifiedRun(nullptr);
+    return;
+  }
   // Rows seeded (or ground-fired) since the last convergence sit past every
   // delta window; advancing makes them the pending delta, so a re-entered
   // run fires rules only against combinations involving the new rows.
   AdvanceDeltas(state);
   if (impl_->semi_naive) {
+    std::vector<size_t> all_rules(impl_->program->rules().size());
+    for (size_t r = 0; r < all_rules.size(); ++r) all_rules[r] = r;
     bool changed = true;
     while (changed && !state.aborted) {
       changed = false;
       ++state.stats.rounds;
       if (impl_->UseParallelRound()) {
-        changed = ParallelRound(state, *impl_->program, nullptr,
+        changed = ParallelRound(state, *impl_->program, all_rules,
                                 *impl_->pool, impl_->scratch);
       } else {
-        for (const DatalogRule& rule : impl_->program->rules()) {
-          for (size_t pos = 0; pos < rule.body.size() && !state.aborted;
-               ++pos) {
-            const PredState& ps = state.preds[rule.body[pos].predicate];
-            if (ps.delta_begin == ps.delta_end) continue;
-            changed |= FireRule(state, rule, static_cast<int>(pos));
-          }
-        }
+        changed = SequentialRound(state, *impl_->program, all_rules);
       }
       AdvanceDeltas(state);
     }
@@ -866,6 +1029,10 @@ void ConditionedFixpoint::ClearPredicate(int pred) {
   // past their old count.
   ps.indexes.Clear();
   ++ps.stamp;
+  // No stratum has consumed any of the predicate's future rows.
+  for (std::vector<size_t>& seen_scc : impl_->seen) {
+    seen_scc[static_cast<size_t>(pred)] = 0;
+  }
 }
 
 void ConditionedFixpoint::RunCone(const std::vector<bool>& cone_heads) {
@@ -884,6 +1051,13 @@ void ConditionedFixpoint::RunCone(const std::vector<bool>& cone_heads) {
       FireRule(state, rule, /*delta_pos=*/-1);
     }
   }
+  if (impl_->semi_naive && impl_->stratum) {
+    // Stratified re-derivation: same cone-head restriction, with each
+    // stratum's windows opened at 0 (the cleared predicates' derivations
+    // are gone, so every combination re-enumerates) in topological order.
+    impl_->StratifiedRun(&cone_heads);
+    return;
+  }
   // Every current row becomes the pending delta: with the window at
   // [0, rows.size()), a rule's delta_pos=0 firing enumerates exactly the
   // combinations a fresh first round would (earlier-position windows are
@@ -896,24 +1070,22 @@ void ConditionedFixpoint::RunCone(const std::vector<bool>& cone_heads) {
   // Only cone-head rules fire: the cone is closed under head-reachability,
   // so a rule with a non-cone head has no cone predicate in its body — its
   // derivations are all still present and re-firing it could add nothing.
+  std::vector<size_t> cone_rules;
+  for (size_t r = 0; r < impl_->program->rules().size(); ++r) {
+    if (cone_heads[impl_->program->rules()[r].head.predicate]) {
+      cone_rules.push_back(r);
+    }
+  }
   if (impl_->semi_naive) {
     bool changed = true;
     while (changed && !state.aborted) {
       changed = false;
       ++state.stats.rounds;
       if (impl_->UseParallelRound()) {
-        changed = ParallelRound(state, *impl_->program, &cone_heads,
+        changed = ParallelRound(state, *impl_->program, cone_rules,
                                 *impl_->pool, impl_->scratch);
       } else {
-        for (const DatalogRule& rule : impl_->program->rules()) {
-          if (!cone_heads[rule.head.predicate]) continue;
-          for (size_t pos = 0; pos < rule.body.size() && !state.aborted;
-               ++pos) {
-            const PredState& ps = state.preds[rule.body[pos].predicate];
-            if (ps.delta_begin == ps.delta_end) continue;
-            changed |= FireRule(state, rule, static_cast<int>(pos));
-          }
-        }
+        changed = SequentialRound(state, *impl_->program, cone_rules);
       }
       AdvanceDeltas(state);
     }
@@ -1126,6 +1298,7 @@ CTable DatalogQueryOnCTables(const DatalogProgram& program,
     fixpoint = DatalogOnCTables(rewrite.program, database, &local, inner);
     local.rules_adorned = rewrite.rules_adorned;
     local.magic_rules = rewrite.magic_rules;
+    local.rules_pruned = rewrite.rules_pruned;
     goal_table = static_cast<size_t>(rewrite.goal_predicate);
   } else {
     inner.magic_pred_begin = -1;

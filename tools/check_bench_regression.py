@@ -12,6 +12,9 @@ each fast-path benchmark with its seed-path twin by name:
                                               binary-only fusion baseline)
     *_Magic/N          vs  *_FullFixpoint/N  (magic-set demand evaluation vs
                                               full fixpoint + restriction)
+    *_StratumSched/N   vs  *_Monolithic/N    (SCC-scheduled semi-naive
+                                              fixpoint vs the monolithic
+                                              all-rules round schedule)
     *_Incremental/N    vs  *_Recompute/N     (maintained materialized view vs
                                               full fixpoint per update)
     *_Snapshot/N       vs  *_Direct/N        (versioned snapshot reads over
@@ -55,6 +58,7 @@ PAIRS = [("SemiNaive", "Naive", None), ("InternedPath", "SeedPath", None),
          ("HashJoin", "NestedLoop", None), ("IndexedJoin", "ScanJoin", None),
          ("PlannedJoin", "BinaryFusion", None),
          ("Magic", "FullFixpoint", None),
+         ("StratumSched", "Monolithic", None),
          ("Incremental", "Recompute", None), ("Snapshot", "Direct", None),
          ("DDBackend", "Antichain", 1.2)]
 

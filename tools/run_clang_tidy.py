@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the library sources, findings-as-failures.
+
+Reads compile_commands.json from the build directory (CMake writes it —
+CMAKE_EXPORT_COMPILE_COMMANDS is on in the top-level CMakeLists.txt),
+filters it to the first-party sources under src/, and runs clang-tidy on
+each translation unit in parallel with the check set pinned in the root
+.clang-tidy (which also sets WarningsAsErrors, so any finding fails the
+run). Tests and benches are out of scope: they lean on gtest/benchmark
+macros that expand to patterns the bugprone checks flag by design.
+
+Usage:
+    python3 tools/run_clang_tidy.py --build-dir build [--jobs N]
+    python3 tools/run_clang_tidy.py --build-dir build src/datalog/analysis.cc
+
+Positional arguments restrict the run to matching sources (substring match
+against the absolute path) — handy for iterating on one finding. Exits
+nonzero when clang-tidy is missing, when no translation units matched, or
+when any invocation reported a finding.
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+# Newest first; the bare name last resolves whatever the distro symlinks.
+CLANG_TIDY_CANDIDATES = [f"clang-tidy-{v}" for v in range(21, 13, -1)] + [
+    "clang-tidy"
+]
+
+
+def find_clang_tidy():
+    for name in CLANG_TIDY_CANDIDATES:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def load_translation_units(build_dir, filters):
+    """(file, directory) pairs for the src/ entries of the compilation DB."""
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        print(f"error: {db_path} not found; configure with CMake first "
+              "(CMAKE_EXPORT_COMPILE_COMMANDS is on by default)",
+              file=sys.stderr)
+        return None
+    with open(db_path) as f:
+        entries = json.load(f)
+    root = os.path.dirname(os.path.abspath(db_path))
+    src_root = os.path.normpath(os.path.join(root, os.pardir, "src"))
+    units = []
+    for entry in entries:
+        path = os.path.normpath(
+            os.path.join(entry["directory"], entry["file"]))
+        if not path.startswith(src_root + os.sep):
+            continue
+        if filters and not any(f in path for f in filters):
+            continue
+        units.append((path, entry["directory"]))
+    return sorted(set(units))
+
+
+def run_one(clang_tidy, build_dir, unit):
+    path, _ = unit
+    proc = subprocess.run(
+        [clang_tidy, "-p", build_dir, "--quiet", path],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    return path, proc.returncode, proc.stdout, proc.stderr
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("filters", nargs="*",
+                        help="only run on sources whose path contains one of "
+                             "these substrings")
+    parser.add_argument("--build-dir", default="build",
+                        help="build directory holding compile_commands.json "
+                             "(default: build)")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2,
+                        help="parallel clang-tidy invocations")
+    args = parser.parse_args()
+
+    clang_tidy = find_clang_tidy()
+    if clang_tidy is None:
+        print("error: no clang-tidy binary on PATH (tried "
+              f"{', '.join(CLANG_TIDY_CANDIDATES)})", file=sys.stderr)
+        return 1
+
+    units = load_translation_units(args.build_dir, args.filters)
+    if units is None:
+        return 1
+    if not units:
+        print("error: no src/ translation units matched; the lint lane is "
+              "vacuous", file=sys.stderr)
+        return 1
+
+    failures = 0
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        futures = [pool.submit(run_one, clang_tidy, args.build_dir, u)
+                   for u in units]
+        for future in concurrent.futures.as_completed(futures):
+            path, returncode, stdout, stderr = future.result()
+            rel = os.path.relpath(path)
+            if returncode != 0:
+                failures += 1
+                print(f"[FAIL] {rel}")
+                if stdout.strip():
+                    print(stdout.strip())
+                # clang-tidy's "N warnings treated as errors" summary goes to
+                # stderr; keep it next to its findings.
+                if stderr.strip():
+                    print(stderr.strip(), file=sys.stderr)
+            else:
+                print(f"[ok]   {rel}")
+
+    if failures:
+        print(f"{failures} of {len(units)} translation units had findings",
+              file=sys.stderr)
+        return 1
+    print(f"all {len(units)} translation units clean under "
+          f"{os.path.basename(clang_tidy)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
