@@ -1,0 +1,97 @@
+#include "reductions/sat_encode.h"
+
+#include <cassert>
+
+namespace pw {
+
+ClausalFormula GraphColoringToCnf(const Graph& graph, int k) {
+  assert(k >= 1);
+  ClausalFormula cnf;
+  cnf.num_vars = graph.num_nodes() * k;
+  cnf.clauses.reserve(graph.num_nodes() +
+                      graph.num_edges() * static_cast<size_t>(k));
+  for (int node = 0; node < graph.num_nodes(); ++node) {
+    Clause at_least_one;
+    at_least_one.reserve(k);
+    for (int c = 0; c < k; ++c) at_least_one.push_back(Literal::Pos(node * k + c));
+    cnf.clauses.push_back(std::move(at_least_one));
+  }
+  for (const auto& [a, b] : graph.edges()) {
+    for (int c = 0; c < k; ++c) {
+      cnf.clauses.push_back({Literal::Neg(a * k + c), Literal::Neg(b * k + c)});
+    }
+  }
+  return cnf;
+}
+
+std::vector<int> DecodeColoring(const Graph& graph, int k,
+                                const std::vector<bool>& model) {
+  // Models may assert several colors per node (there is no at-most-one
+  // constraint), but "first asserted color" is still proper: if adjacent
+  // nodes shared their first asserted color c, both variables would be true
+  // and the edge's color-c conflict clause would be falsified.
+  std::vector<int> coloring(graph.num_nodes(), -1);
+  for (int node = 0; node < graph.num_nodes(); ++node) {
+    for (int c = 0; c < k; ++c) {
+      if (model[node * k + c]) {
+        coloring[node] = c;
+        break;
+      }
+    }
+    assert(coloring[node] >= 0 && "model violates an at-least-one clause");
+  }
+  return coloring;
+}
+
+ClausalFormula PigeonholeCnf(int holes) {
+  assert(holes >= 1);
+  int pigeons = holes + 1;
+  ClausalFormula cnf;
+  cnf.num_vars = pigeons * holes;
+  for (int p = 0; p < pigeons; ++p) {
+    Clause somewhere;
+    somewhere.reserve(holes);
+    for (int h = 0; h < holes; ++h) somewhere.push_back(Literal::Pos(p * holes + h));
+    cnf.clauses.push_back(std::move(somewhere));
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p = 0; p < pigeons; ++p) {
+      for (int q = p + 1; q < pigeons; ++q) {
+        cnf.clauses.push_back(
+            {Literal::Neg(p * holes + h), Literal::Neg(q * holes + h)});
+      }
+    }
+  }
+  return cnf;
+}
+
+ClausalFormula ScrambledImplicationChainCnf(int length) {
+  assert(length >= 1);
+  ClausalFormula cnf;
+  cnf.num_vars = length;
+  cnf.clauses.reserve(static_cast<size_t>(length) + 1);
+  cnf.clauses.push_back({Literal::Pos(0)});
+  // Even-indexed implications first, then odd-indexed: consuming the chain
+  // in ascending or descending variable order alternates between the two
+  // blocks, so a fixed-order clause scan picks up O(1) new units per pass.
+  for (int parity = 0; parity < 2; ++parity) {
+    for (int i = parity; i < length - 1; i += 2) {
+      cnf.clauses.push_back({Literal::Neg(i), Literal::Pos(i + 1)});
+    }
+  }
+  cnf.clauses.push_back({Literal::Neg(length - 1)});
+  return cnf;
+}
+
+ClausalFormula DecisionLadderCnf(int length) {
+  assert(length >= 2);
+  ClausalFormula cnf;
+  cnf.num_vars = length;
+  cnf.clauses.reserve(static_cast<size_t>(length) - 1);
+  for (int i = 0; i + 1 < length; ++i) {
+    cnf.clauses.push_back({Literal::Pos(i), Literal::Pos(i + 1)});
+  }
+  return cnf;
+}
+
+}  // namespace pw

@@ -1,13 +1,8 @@
 #include "solvers/dnf_tautology.h"
 
-#include "solvers/sat.h"
-
 namespace pw {
 
-namespace {
-/// The complement of a DNF is the CNF with every literal negated:
-/// NOT (OR_i AND_j l_ij)  ==  AND_i OR_j NOT l_ij.
-ClausalFormula ComplementCnf(const ClausalFormula& dnf) {
+ClausalFormula DnfComplementCnf(const ClausalFormula& dnf) {
   ClausalFormula cnf;
   cnf.num_vars = dnf.num_vars;
   cnf.clauses.reserve(dnf.clauses.size());
@@ -19,19 +14,32 @@ ClausalFormula ComplementCnf(const ClausalFormula& dnf) {
   }
   return cnf;
 }
-}  // namespace
+
+TautologyVerdict CheckDnfTautology(const ClausalFormula& formula,
+                                   const SatOptions& options) {
+  // The empty DNF denotes "false", which the empty complement CNF (trivially
+  // satisfiable) classifies correctly: not a tautology, any assignment
+  // falsifies it.
+  SatResult complement = SolveCnf(DnfComplementCnf(formula), options);
+  TautologyVerdict verdict;
+  if (complement.sat) {
+    complement.model.resize(formula.num_vars);
+    verdict.is_tautology = false;
+    verdict.counterexample = complement.model;
+  } else {
+    verdict.is_tautology = true;
+  }
+  verdict.certificate = complement.Certificate();
+  return verdict;
+}
 
 bool IsDnfTautology(const ClausalFormula& formula) {
-  if (formula.clauses.empty()) return false;
-  return !IsSatisfiable(ComplementCnf(formula));
+  return CheckDnfTautology(formula).is_tautology;
 }
 
 std::optional<std::vector<bool>> FindDnfCounterexample(
     const ClausalFormula& formula) {
-  if (formula.clauses.empty()) {
-    return std::vector<bool>(formula.num_vars, false);
-  }
-  return SolveSat(ComplementCnf(formula));
+  return CheckDnfTautology(formula).counterexample;
 }
 
 }  // namespace pw

@@ -1,0 +1,192 @@
+#include "solvers/proof.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace pw {
+
+namespace {
+
+/// A stand-alone unit propagator over occurrence lists. Unlike the solver's
+/// two-watched-literal scheme, every clause containing a newly falsified
+/// literal is re-scanned in full; assignments are undone through an explicit
+/// trail between queries. Simple on purpose: the checker's trust story rests
+/// on it being obviously correct, not fast.
+class RupChecker {
+ public:
+  void AddClause(const Clause& clause) {
+    // Drop duplicate literals (sound: l OR l == l). Without this a clause
+    // like {-x, -x} would never look unit to the scan below, and a
+    // derivation the solver found through its own deduplication would be
+    // wrongly rejected.
+    Clause deduped = clause;
+    std::sort(deduped.begin(), deduped.end(),
+              [](const Literal& a, const Literal& b) {
+                return Index(a) < Index(b);
+              });
+    deduped.erase(std::unique(deduped.begin(), deduped.end()), deduped.end());
+    int id = static_cast<int>(clauses_.size());
+    for (const Literal& lit : deduped) {
+      EnsureVar(lit.var);
+      occurrences_[Index(lit)].push_back(id);
+    }
+    if (deduped.empty()) has_empty_clause_ = true;
+    if (deduped.size() == 1) unit_clauses_.push_back(deduped[0]);
+    clauses_.push_back(std::move(deduped));
+  }
+
+  /// True when assuming every literal of `assumed` and unit-propagating over
+  /// the clause set reaches a conflict.
+  bool PropagatesToConflict(const std::vector<Literal>& assumed) {
+    bool conflict = has_empty_clause_;
+    // Seed with the assumptions and the unit clauses: before anything is
+    // assigned those are the only unit-implied literals, and everything else
+    // is reached through the occurrence walk below.
+    for (const Literal& lit : assumed) {
+      if (conflict) break;
+      EnsureVar(lit.var);
+      conflict = !Assign(lit);
+    }
+    for (size_t i = 0; !conflict && i < unit_clauses_.size(); ++i) {
+      conflict = !Assign(unit_clauses_[i]);
+    }
+    size_t head = 0;
+    while (!conflict && head < trail_.size()) {
+      int var = trail_[head++];
+      // The literal of `var` that just became false.
+      Literal falsified{var, values_[var] > 0};
+      for (int id : occurrences_[Index(falsified)]) {
+        const Clause& clause = clauses_[id];
+        const Literal* unit = nullptr;
+        bool satisfied = false;
+        int unassigned = 0;
+        for (const Literal& lit : clause) {
+          int8_t value = values_[lit.var];
+          if (value == 0) {
+            ++unassigned;
+            unit = &lit;
+            if (unassigned > 1) break;
+          } else if ((value > 0) != lit.negated) {
+            satisfied = true;
+            break;
+          }
+        }
+        if (satisfied || unassigned > 1) continue;
+        if (unassigned == 0) {
+          conflict = true;
+          break;
+        }
+        Assign(*unit);  // cannot conflict: `unit` is unassigned
+      }
+    }
+    for (int var : trail_) values_[var] = 0;
+    trail_.clear();
+    return conflict;
+  }
+
+ private:
+  static int Index(const Literal& lit) {
+    return 2 * lit.var + (lit.negated ? 1 : 0);
+  }
+
+  void EnsureVar(int var) {
+    if (static_cast<size_t>(var) < values_.size()) return;
+    values_.resize(var + 1, 0);
+    occurrences_.resize(2 * (var + 1));
+  }
+
+  /// Makes `lit` true; false when it was already false.
+  bool Assign(const Literal& lit) {
+    int8_t want = lit.negated ? int8_t{-1} : int8_t{1};
+    if (values_[lit.var] == want) return true;
+    if (values_[lit.var] != 0) return false;
+    values_[lit.var] = want;
+    trail_.push_back(lit.var);
+    return true;
+  }
+
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<int>> occurrences_;  // literal index -> clause ids
+  std::vector<int8_t> values_;                 // 0 unset, 1 true, -1 false
+  std::vector<Literal> unit_clauses_;
+  std::vector<int> trail_;
+  bool has_empty_clause_ = false;
+};
+
+void SetError(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+}  // namespace
+
+bool CheckModel(const ClausalFormula& formula, const std::vector<bool>& model,
+                std::string* error) {
+  if (model.size() < static_cast<size_t>(formula.num_vars)) {
+    SetError(error, "model covers " + std::to_string(model.size()) +
+                        " variables, formula has " +
+                        std::to_string(formula.num_vars));
+    return false;
+  }
+  for (size_t i = 0; i < formula.clauses.size(); ++i) {
+    bool satisfied = false;
+    for (const Literal& lit : formula.clauses[i]) {
+      if (model[lit.var] != lit.negated) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) {
+      SetError(error, "clause " + std::to_string(i) +
+                          " is falsified by the claimed model");
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CheckUnsatProof(const ClausalFormula& formula,
+                     const std::vector<Literal>& assumptions,
+                     const DratProof& proof, std::string* error) {
+  RupChecker checker;
+  for (const Clause& clause : formula.clauses) checker.AddClause(clause);
+  std::vector<Literal> negated;
+  for (size_t i = 0; i < proof.added.size(); ++i) {
+    const Clause& clause = proof.added[i];
+    negated.clear();
+    negated.reserve(clause.size());
+    for (const Literal& lit : clause) negated.push_back({lit.var, !lit.negated});
+    if (!checker.PropagatesToConflict(negated)) {
+      SetError(error, "proof clause " + std::to_string(i) +
+                          " is not a reverse-unit-propagation consequence");
+      return false;
+    }
+    checker.AddClause(clause);
+  }
+  if (!checker.PropagatesToConflict(assumptions)) {
+    SetError(error,
+             assumptions.empty()
+                 ? std::string("proof does not derive the empty clause")
+                 : std::string("proof does not refute the assumptions"));
+    return false;
+  }
+  return true;
+}
+
+bool VerifyCertificate(const ClausalFormula& formula,
+                       const std::vector<Literal>& assumptions,
+                       const SatCertificate& certificate, std::string* error) {
+  if (certificate.sat) {
+    if (!CheckModel(formula, certificate.model, error)) return false;
+    for (const Literal& lit : assumptions) {
+      if (static_cast<size_t>(lit.var) >= certificate.model.size() ||
+          certificate.model[lit.var] == lit.negated) {
+        SetError(error, "claimed model violates an assumption");
+        return false;
+      }
+    }
+    return true;
+  }
+  return CheckUnsatProof(formula, assumptions, certificate.proof, error);
+}
+
+}  // namespace pw

@@ -1,0 +1,64 @@
+// Independent certificate checking for the SAT core: DRAT-style clausal
+// proofs verified by reverse unit propagation (RUP), and model checking for
+// satisfiable answers. Deliberately shares no code with the solver — no
+// watched literals, no trail, no activity machinery — so a solver bug cannot
+// hide inside its own checker. Every "certain"/"impossible" verdict the
+// decision layer derives from the solver can thus ship with a proof that an
+// adversarial consumer re-verifies in time linear-ish in the proof size.
+
+#ifndef PW_SOLVERS_PROOF_H_
+#define PW_SOLVERS_PROOF_H_
+
+#include <string>
+#include <vector>
+
+#include "solvers/cnf.h"
+
+namespace pw {
+
+/// A clausal proof in derivation order. Every clause must be a reverse-unit-
+/// propagation consequence of the axioms plus the earlier proof clauses:
+/// assuming its negation and unit-propagating over them reaches a conflict.
+/// An UNSAT proof ends in a clause that conflicts under the checked
+/// assumptions — the empty clause when there are none, the negation of the
+/// failed-assumption core otherwise.
+struct DratProof {
+  std::vector<Clause> added;
+
+  bool empty() const { return added.empty(); }
+};
+
+/// A self-contained answer certificate: a satisfying model when `sat`, a
+/// clausal UNSAT proof otherwise.
+struct SatCertificate {
+  bool sat = false;
+  std::vector<bool> model;  // meaningful when sat
+  DratProof proof;          // meaningful when !sat
+};
+
+/// Checks that `model` satisfies every clause of `formula` read as CNF.
+/// On failure returns false and, when `error` is non-null, names the first
+/// falsified clause.
+bool CheckModel(const ClausalFormula& formula, const std::vector<bool>& model,
+                std::string* error = nullptr);
+
+/// Checks that `proof` establishes unsatisfiability of `formula` conjoined
+/// with the unit `assumptions`: every added clause is RUP over the axioms
+/// plus the earlier additions, and propagating the assumptions over the
+/// final clause set conflicts. Pass an empty assumption vector for plain
+/// UNSAT proofs.
+bool CheckUnsatProof(const ClausalFormula& formula,
+                     const std::vector<Literal>& assumptions,
+                     const DratProof& proof, std::string* error = nullptr);
+
+/// Verifies a certificate against `formula` + `assumptions`: model checking
+/// (including the assumptions) when it claims SAT, proof checking when it
+/// claims UNSAT.
+bool VerifyCertificate(const ClausalFormula& formula,
+                       const std::vector<Literal>& assumptions,
+                       const SatCertificate& certificate,
+                       std::string* error = nullptr);
+
+}  // namespace pw
+
+#endif  // PW_SOLVERS_PROOF_H_

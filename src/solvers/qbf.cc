@@ -1,6 +1,6 @@
 #include "solvers/qbf.h"
 
-#include "solvers/sat.h"
+#include <cassert>
 
 namespace pw {
 
@@ -8,7 +8,8 @@ namespace {
 
 /// Restricts `formula` by the assignment of universal variables [0, nx):
 /// drops satisfied clauses, removes falsified literals. Variables keep their
-/// indices (universal variables no longer occur).
+/// indices (universal variables no longer occur). Used by the enumeration
+/// baseline only — the CEGAR path restricts through assumptions instead.
 std::optional<ClausalFormula> Restrict(const ClausalFormula& formula, int nx,
                                        const std::vector<bool>& x) {
   ClausalFormula out;
@@ -34,22 +35,159 @@ std::optional<ClausalFormula> Restrict(const ClausalFormula& formula, int nx,
   return out;
 }
 
+/// The universal assignment as assumption literals for the full formula.
+std::vector<Literal> UniversalAssumptions(const std::vector<bool>& x) {
+  std::vector<Literal> assumptions;
+  assumptions.reserve(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    assumptions.push_back({static_cast<int>(i), !x[i]});
+  }
+  return assumptions;
+}
+
+QbfResult Reject(std::string error) {
+  QbfResult result;
+  result.ok = false;
+  result.error = std::move(error);
+  return result;
+}
+
+/// Seed baseline: enumerate every universal assignment. The mask shift is
+/// defined only below 64 universals; larger instances are rejected with a
+/// structured error instead of the former undefined-behavior shift.
+QbfResult SolveByEnumeration(const ForallExistsCnf& instance,
+                             const QbfOptions& options) {
+  int nx = instance.num_forall;
+  if (nx >= 64) {
+    return Reject("enumeration baseline cannot iterate 2^" +
+                  std::to_string(nx) +
+                  " universal assignments (num_forall must be < 64); use the "
+                  "CEGAR engine (QbfOptions{.use_cegar = true})");
+  }
+  QbfResult result;
+  std::vector<bool> x(nx, false);
+  for (uint64_t mask = 0; mask < (uint64_t{1} << nx); ++mask) {
+    ++result.candidates;
+    for (int i = 0; i < nx; ++i) x[i] = ((mask >> i) & 1) != 0;
+    auto restricted = Restrict(instance.formula, nx, x);
+    if (!restricted.has_value() || !SolveCnf(*restricted, options.sat).sat) {
+      result.holds = false;
+      result.counterexample = x;
+      // Re-derive the certificate against the *full* formula so it is
+      // checkable with the universal literals as assumptions, exactly like
+      // the CEGAR path's.
+      SatResult refuted = SolveCnfUnderAssumptions(
+          instance.formula, UniversalAssumptions(x), options.sat);
+      result.certificate = refuted.Certificate();
+      return result;
+    }
+  }
+  result.holds = true;
+  return result;
+}
+
+/// CEGAR counterexample search (Janota & Marques-Silva style). An
+/// abstraction solver over the universal variables proposes candidates; the
+/// main solver checks each under assumptions. A witness y eliminates every
+/// universal assignment it repairs: a candidate must falsify, on its
+/// universal literals, some clause that y leaves unsatisfied — encoded with
+/// one fresh selector variable per such clause.
+QbfResult SolveByCegar(const ForallExistsCnf& instance,
+                       const QbfOptions& options) {
+  int nx = instance.num_forall;
+  const ClausalFormula& formula = instance.formula;
+  QbfResult result;
+
+  SatSolver main_solver(options.sat);
+  main_solver.AddFormula(formula);
+
+  SatSolver abstraction(options.sat);
+  abstraction.EnsureVars(nx);
+
+  std::vector<bool> x(nx, false);
+  for (;;) {
+    ++result.candidates;
+    SatResult candidate = abstraction.Solve();
+    if (!candidate.sat) {
+      // Every universal assignment is repaired by some recorded witness.
+      result.holds = true;
+      return result;
+    }
+    for (int i = 0; i < nx; ++i) x[i] = candidate.model[i];
+    std::vector<Literal> assumptions = UniversalAssumptions(x);
+    SatResult check = main_solver.SolveUnderAssumptions(assumptions);
+    if (!check.sat) {
+      result.holds = false;
+      result.counterexample = x;
+      result.certificate = check.Certificate();
+      return result;
+    }
+    // Refine: a future candidate x' must falsify (on universal literals)
+    // some clause whose existential literals the witness y all misses —
+    // otherwise y would repair x' too.
+    Clause selector_clause;
+    for (const Clause& c : formula.clauses) {
+      bool witness_satisfies = false;
+      for (const Literal& lit : c) {
+        if (lit.var >= nx && check.model[lit.var] != lit.negated) {
+          witness_satisfies = true;
+          break;
+        }
+      }
+      if (witness_satisfies) continue;
+      // The witness leaves this clause to the universal variables; the
+      // current candidate satisfied it there, so it has universal literals.
+      int selector = abstraction.NewVar();
+      bool has_universal = false;
+      for (const Literal& lit : c) {
+        if (lit.var >= nx) continue;
+        has_universal = true;
+        // selector -> the universal literal is false under the candidate.
+        abstraction.AddClause(
+            {Literal::Neg(selector), {lit.var, !lit.negated}});
+      }
+      assert(has_universal &&
+             "a witness-missed clause must touch universal variables");
+      (void)has_universal;
+      selector_clause.push_back(Literal::Pos(selector));
+    }
+    if (selector_clause.empty()) {
+      // The witness satisfies every clause on existential literals alone: it
+      // repairs every universal assignment.
+      result.holds = true;
+      return result;
+    }
+    abstraction.AddClause(selector_clause);
+    ++result.refinements;
+  }
+}
+
 }  // namespace
 
+QbfResult SolveForallExistsCertified(const ForallExistsCnf& instance,
+                                     const QbfOptions& options) {
+  if (instance.num_forall < 0 ||
+      instance.num_forall > instance.formula.num_vars) {
+    return Reject("malformed quantifier split: num_forall = " +
+                  std::to_string(instance.num_forall) + " with " +
+                  std::to_string(instance.formula.num_vars) + " variables");
+  }
+  return options.use_cegar ? SolveByCegar(instance, options)
+                           : SolveByEnumeration(instance, options);
+}
+
 bool SolveForallExists(const ForallExistsCnf& instance) {
-  return !FindForallCounterexample(instance).has_value();
+  QbfResult result = SolveForallExistsCertified(instance);
+  assert(result.ok);
+  return result.ok && result.holds;
 }
 
 std::optional<std::vector<bool>> FindForallCounterexample(
     const ForallExistsCnf& instance) {
-  int nx = instance.num_forall;
-  std::vector<bool> x(nx, false);
-  for (uint64_t mask = 0; mask < (uint64_t{1} << nx); ++mask) {
-    for (int i = 0; i < nx; ++i) x[i] = (mask >> i) & 1;
-    auto restricted = Restrict(instance.formula, nx, x);
-    if (!restricted || !IsSatisfiable(*restricted)) return x;
-  }
-  return std::nullopt;
+  QbfResult result = SolveForallExistsCertified(instance);
+  assert(result.ok);
+  if (!result.ok || result.holds) return std::nullopt;
+  return result.counterexample;
 }
 
 }  // namespace pw

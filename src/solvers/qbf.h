@@ -1,20 +1,68 @@
 // The forall-exists 3CNF problem (Stockmeyer): Pi-2-p-complete reference
 // oracle for the containment lower bounds of Theorem 4.2.
+//
+// The default engine is a CEGAR-style counterexample search over the
+// universal assignments: an incremental abstraction solver proposes
+// candidate universal assignments, the main solver checks each one under
+// assumptions, and every found witness is generalized into a refinement
+// clause that excludes all universal assignments the witness repairs. When a
+// counterexample is found it ships with a checkable UNSAT certificate
+// (solvers/proof.h) for the restricted formula. The seed 2^|X| enumeration
+// survives behind QbfOptions{.use_cegar = false} as the differential
+// baseline — now guarded against the |X| >= 64 shift overflow instead of
+// silently invoking undefined behavior.
 
 #ifndef PW_SOLVERS_QBF_H_
 #define PW_SOLVERS_QBF_H_
 
+#include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
-#include "solvers/cnf.h"
+#include "solvers/proof.h"
+#include "solvers/sat.h"
 
 namespace pw {
 
+struct QbfOptions {
+  /// false enumerates all 2^|X| universal assignments (the seed baseline;
+  /// rejects instances with 64 or more universals).
+  bool use_cegar = true;
+  /// Options for the underlying SAT engine(s).
+  SatOptions sat;
+};
+
+struct QbfResult {
+  /// false when the instance was rejected outright (malformed quantifier
+  /// split, or an oversized instance on the enumeration baseline); `error`
+  /// then says why and no other field is meaningful.
+  bool ok = true;
+  std::string error;
+
+  /// The verdict: does every universal assignment admit a satisfying
+  /// existential extension?
+  bool holds = false;
+  /// When !holds: a universal assignment with no satisfying extension.
+  std::optional<std::vector<bool>> counterexample;
+  /// When !holds (CEGAR path): an UNSAT proof for the formula under the
+  /// counterexample, checkable via CheckUnsatProof with the universal
+  /// literals as assumptions.
+  SatCertificate certificate;
+
+  /// Search effort: candidate universal assignments tried, and refinement
+  /// clauses added (CEGAR) — candidates equals the enumerated prefix on the
+  /// brute-force baseline.
+  int64_t candidates = 0;
+  int64_t refinements = 0;
+};
+
+/// Full result with certificate and stats.
+QbfResult SolveForallExistsCertified(const ForallExistsCnf& instance,
+                                     const QbfOptions& options = {});
+
 /// Decides: for every assignment of the universal variables, is there an
 /// assignment of the existential variables satisfying the CNF?
-/// Enumerates the 2^|X| universal assignments and calls DPLL on each
-/// restricted formula.
 bool SolveForallExists(const ForallExistsCnf& instance);
 
 /// If the instance is false, returns a universal assignment with no
